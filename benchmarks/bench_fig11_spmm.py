@@ -1,0 +1,100 @@
+"""Figure 11 — SpMM performance vs all baselines on H100 and RTX 4090.
+
+The paper reports (a)(c) the distribution of per-matrix speedups normalised
+to cuSPARSE for N in {128, 256}, split into "small" and "large" matrices, and
+(b)(d) the measured GFLOPS of all systems across the 515-matrix collection.
+This benchmark regenerates both views on the synthetic collection using the
+cost models + performance model.
+"""
+
+import pytest
+
+from bench_common import (
+    DEVICES,
+    baseline_spmm_time,
+    emit_table,
+    evaluation_collection,
+    flash_spmm_time,
+    spmm_gflops,
+)
+from repro.baselines import KERNEL_BASELINES
+from repro.perfmodel import geometric_mean
+
+N_VALUES = (128, 256)
+SYSTEMS = ("FlashSparse-FP16", "FlashSparse-TF32") + tuple(KERNEL_BASELINES)
+
+
+def _system_time(system: str, matrix, n_dense: int, device) -> float:
+    if system == "FlashSparse-FP16":
+        return flash_spmm_time(matrix, n_dense, device, precision="fp16")
+    if system == "FlashSparse-TF32":
+        return flash_spmm_time(matrix, n_dense, device, precision="tf32")
+    return baseline_spmm_time(system, matrix, n_dense, device)
+
+
+def run_figure11():
+    """Median speedup over cuSPARSE and geomean GFLOPS per system/device/N/group."""
+    cases = evaluation_collection()
+    summary_rows = []
+    per_matrix: dict[tuple, list] = {}
+    for device_name, device in DEVICES.items():
+        for n_dense in N_VALUES:
+            times = {}
+            for case in cases:
+                times[case.name] = {
+                    system: _system_time(system, case.matrix, n_dense, device) for system in SYSTEMS
+                }
+            for group in ("small", "large"):
+                group_cases = [c for c in cases if c.size_group == group]
+                if not group_cases:
+                    continue
+                for system in SYSTEMS:
+                    speedups = [
+                        times[c.name]["cuSPARSE"] / times[c.name][system] for c in group_cases
+                    ]
+                    gfl = [
+                        spmm_gflops(c.matrix, times[c.name][system], n_dense) for c in group_cases
+                    ]
+                    key = (device_name, n_dense, group, system)
+                    per_matrix[key] = speedups
+                    speedups_sorted = sorted(speedups)
+                    median = speedups_sorted[len(speedups_sorted) // 2]
+                    summary_rows.append(
+                        [
+                            device_name,
+                            n_dense,
+                            group,
+                            system,
+                            median,
+                            geometric_mean(speedups),
+                            geometric_mean(gfl),
+                        ]
+                    )
+    return summary_rows, per_matrix
+
+
+@pytest.mark.paper_experiment("Figure 11")
+def test_fig11_spmm_performance(benchmark):
+    summary_rows, per_matrix = benchmark.pedantic(run_figure11, rounds=1, iterations=1)
+    emit_table(
+        "fig11_spmm",
+        ["Device", "N", "Group", "System", "Median speedup vs cuSPARSE", "Geomean speedup", "Geomean GFLOPS"],
+        summary_rows,
+        title="Figure 11 reproduction: SpMM speedups (vs cuSPARSE) and throughput",
+    )
+    # Shape checks mirroring the paper's claims:
+    by_key = {(r[0], r[1], r[2], r[3]): r for r in summary_rows}
+    for device in DEVICES:
+        for n in N_VALUES:
+            for group in ("small", "large"):
+                flash = by_key[(device, n, group, "FlashSparse-FP16")]
+                # (1) FlashSparse's median speedup over cuSPARSE beats every baseline's.
+                for baseline in KERNEL_BASELINES:
+                    if baseline == "cuSPARSE":
+                        continue
+                    assert flash[4] >= by_key[(device, n, group, baseline)][4]
+                # (2) FlashSparse achieves the highest geomean throughput.
+                for system in SYSTEMS[2:]:
+                    assert flash[6] >= by_key[(device, n, group, system)][6]
+                # (3) FP16 is at least as fast as TF32 FlashSparse.
+                assert flash[6] >= by_key[(device, n, group, "FlashSparse-TF32")][6] * 0.99

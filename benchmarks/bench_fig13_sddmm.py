@@ -1,0 +1,59 @@
+"""Figure 13 — SDDMM throughput vs Sputnik, RoDe and TC-GNN (N in {32, 128})."""
+
+import pytest
+
+from bench_common import (
+    DEVICES,
+    baseline_sddmm_time,
+    emit_table,
+    evaluation_collection,
+    flash_sddmm_time,
+    sddmm_gflops,
+)
+from repro.baselines import SDDMM_BASELINES
+from repro.perfmodel import geometric_mean
+
+K_VALUES = (32, 128)
+SYSTEMS = ("FlashSparse-FP16", "FlashSparse-TF32") + tuple(SDDMM_BASELINES)
+
+
+def _system_time(system: str, matrix, k_dense: int, device) -> float:
+    if system == "FlashSparse-FP16":
+        return flash_sddmm_time(matrix, k_dense, device, precision="fp16")
+    if system == "FlashSparse-TF32":
+        return flash_sddmm_time(matrix, k_dense, device, precision="tf32")
+    return baseline_sddmm_time(system, matrix, k_dense, device)
+
+
+def run_figure13():
+    """Geomean SDDMM GFLOPS per system, device and K."""
+    cases = evaluation_collection()
+    rows = []
+    for device_name, device in DEVICES.items():
+        for k_dense in K_VALUES:
+            for system in SYSTEMS:
+                gfl = []
+                for case in cases:
+                    t = _system_time(system, case.matrix, k_dense, device)
+                    gfl.append(sddmm_gflops(case.matrix, t, k_dense))
+                rows.append([device_name, k_dense, system, geometric_mean(gfl), max(gfl)])
+    return rows
+
+
+@pytest.mark.paper_experiment("Figure 13")
+def test_fig13_sddmm_performance(benchmark):
+    rows = benchmark.pedantic(run_figure13, rounds=1, iterations=1)
+    emit_table(
+        "fig13_sddmm",
+        ["Device", "K", "System", "Geomean GFLOPS", "Max GFLOPS"],
+        rows,
+        title="Figure 13 reproduction: SDDMM throughput",
+    )
+    by_key = {(r[0], r[1], r[2]): r for r in rows}
+    for device in DEVICES:
+        for k in K_VALUES:
+            flash = by_key[(device, k, "FlashSparse-FP16")]
+            # FlashSparse achieves the highest SDDMM throughput; TC-GNN the lowest.
+            for system in SDDMM_BASELINES:
+                assert flash[3] >= by_key[(device, k, system)][3]
+            assert by_key[(device, k, "TC-GNN")][3] <= by_key[(device, k, "RoDe")][3]

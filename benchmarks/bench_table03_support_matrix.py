@@ -1,0 +1,40 @@
+"""Table 3 — precision / granularity support matrix of all evaluated systems."""
+
+import pytest
+
+from bench_common import emit_table
+from repro.baselines import BASELINES
+from repro.precision.types import Precision
+
+
+def run_table3():
+    """One row per system: supported precisions and compute granularity."""
+    rows = []
+    for name, baseline in sorted(BASELINES.items()):
+        rows.append(
+            [
+                name,
+                "yes" if baseline.precision is Precision.FP32 else "no",
+                "yes" if baseline.precision is Precision.TF32 else "no",
+                "no",
+                baseline.granularity,
+            ]
+        )
+    rows.append(["FlashSparse", "no", "yes", "yes", "8x1 on TCU"])
+    return rows
+
+
+@pytest.mark.paper_experiment("Table 3")
+def test_table03_support_matrix(benchmark):
+    rows = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    emit_table(
+        "table03_support_matrix",
+        ["System", "FP32", "TF32", "FP16", "Granularity"],
+        rows,
+        title="Table 3 reproduction: precision support and granularity",
+    )
+    flash = rows[-1]
+    assert flash[3] == "yes" and flash[4] == "8x1 on TCU"
+    cuda = [r for r in rows[:-1] if r[4] == "CUDA cores"]
+    tcu = [r for r in rows[:-1] if "TCU" in r[4]]
+    assert len(cuda) == 7 and len(tcu) == 2

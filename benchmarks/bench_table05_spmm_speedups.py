@@ -1,0 +1,78 @@
+"""Table 5 — detailed SpMM speedup distribution of FlashSparse over each baseline.
+
+The paper buckets the per-matrix speedups of FlashSparse (FP16) over TC-GNN,
+DTC-SpMM, RoDe, Sputnik and GE-SpMM at N = 128 into <1, 1-1.5, 1.5-2 and >=2,
+and reports the geometric mean and maximum, on both GPUs.
+"""
+
+import pytest
+
+from bench_common import (
+    DEVICES,
+    baseline_spmm_time,
+    emit_table,
+    evaluation_collection,
+    flash_spmm_time,
+)
+from repro.perfmodel import speedup_distribution
+
+N_DENSE = 128
+TABLE5_BASELINES = ("TC-GNN", "DTC-SpMM", "RoDe", "Sputnik", "GE-SpMM")
+
+
+def run_table5():
+    """Speedup distribution buckets per device and baseline."""
+    cases = evaluation_collection()
+    rows = []
+    distributions = {}
+    for device_name, device in DEVICES.items():
+        flash_times = {
+            case.name: flash_spmm_time(case.matrix, N_DENSE, device, precision="fp16")
+            for case in cases
+        }
+        for baseline in TABLE5_BASELINES:
+            speedups = [
+                baseline_spmm_time(baseline, case.matrix, N_DENSE, device) / flash_times[case.name]
+                for case in cases
+            ]
+            dist = speedup_distribution(speedups)
+            distributions[(device_name, baseline)] = dist
+            rows.append(
+                [
+                    device_name,
+                    baseline,
+                    dist["<1"],
+                    dist["1-1.5"],
+                    dist["1.5-2"],
+                    dist[">=2"],
+                    dist["geomean"],
+                    dist["max"],
+                ]
+            )
+    return rows, distributions
+
+
+@pytest.mark.paper_experiment("Table 5")
+def test_table05_spmm_speedup_distribution(benchmark):
+    rows, distributions = benchmark.pedantic(run_table5, rounds=1, iterations=1)
+    emit_table(
+        "table05_spmm_speedups",
+        ["Device", "Baseline", "<1 %", "1-1.5 %", "1.5-2 %", ">=2 %", "Geomean", "Max"],
+        rows,
+        title="Table 5 reproduction: FlashSparse-FP16 SpMM speedup distribution (N=128)",
+    )
+    for (device, baseline), dist in distributions.items():
+        # FlashSparse wins on (almost) every matrix against the TCU baselines
+        # and on the clear majority against the CUDA-core baselines.
+        if baseline in ("TC-GNN", "DTC-SpMM"):
+            assert dist["<1"] <= 5.0, (device, baseline)
+            assert dist["geomean"] > 1.5
+        else:
+            assert dist["geomean"] > 1.0
+        assert dist["max"] >= dist["geomean"]
+    # TC-GNN is the weakest baseline (largest geomean speedup) on both devices.
+    for device in DEVICES:
+        tcgnn = distributions[(device, "TC-GNN")]["geomean"]
+        assert all(
+            tcgnn >= distributions[(device, b)]["geomean"] for b in TABLE5_BASELINES if b != "TC-GNN"
+        )

@@ -1,0 +1,55 @@
+"""Table 7 — memory-footprint reduction of ME-BCRS over SR-BCRS.
+
+The paper buckets the per-matrix footprint reduction into 1-10 %, 11-20 %,
+21-30 %, 31-40 % and >=41 % and reports an 11.72 % average (max 50 %), with
+336 of 515 matrices above 10 %.
+"""
+
+import pytest
+
+from bench_common import emit_table, evaluation_collection
+from repro.formats.mebcrs import MEBCRSMatrix
+from repro.formats.srbcrs import SRBCRSMatrix, footprint_reduction
+
+BUCKETS = (
+    ("1%-10%", 0.0, 0.105),
+    ("11%-20%", 0.105, 0.205),
+    ("21%-30%", 0.205, 0.305),
+    ("31%-40%", 0.305, 0.405),
+    (">=41%", 0.405, 1.01),
+)
+
+
+def run_table7():
+    """Footprint reduction per matrix and the bucketed histogram."""
+    reductions = []
+    for case in evaluation_collection():
+        me = MEBCRSMatrix.from_csr(case.matrix, precision="fp16")
+        sr = SRBCRSMatrix.from_csr(case.matrix, precision="fp16")
+        reductions.append(footprint_reduction(me.memory_footprint_bytes(), sr.memory_footprint_bytes()))
+    histogram = []
+    for label, lo, hi in BUCKETS:
+        histogram.append([label, sum(1 for r in reductions if lo <= r < hi)])
+    return histogram, reductions
+
+
+@pytest.mark.paper_experiment("Table 7")
+def test_table07_format_footprint(benchmark):
+    histogram, reductions = benchmark.pedantic(run_table7, rounds=1, iterations=1)
+    rows = histogram + [
+        ["average %", 100.0 * sum(reductions) / len(reductions)],
+        ["max %", 100.0 * max(reductions)],
+    ]
+    emit_table(
+        "table07_formats_footprint",
+        ["Reduction bucket", "#Matrices / value"],
+        rows,
+        title="Table 7 reproduction: ME-BCRS footprint reduction vs SR-BCRS (FP16)",
+    )
+    # Invariants: reductions are non-negative and bounded by 50%-ish (the
+    # padding can at most double the stored vectors of a window).
+    assert all(0.0 <= r <= 0.55 for r in reductions)
+    average = 100.0 * sum(reductions) / len(reductions)
+    # Paper: 11.72% average.  The synthetic collection lands in a band.
+    assert 2.0 <= average <= 30.0
+    assert max(reductions) >= 0.10

@@ -1,0 +1,17 @@
+"""Pytest configuration for the benchmark harness.
+
+The benchmarks are pytest-benchmark tests: ``pytest benchmarks/
+--benchmark-only`` runs every ``bench_*`` module, regenerates the paper's
+tables/figures into ``benchmarks/results/`` and reports the wall-clock time
+of each regeneration.
+"""
+
+import sys
+from pathlib import Path
+
+# Make the sibling bench_common module importable regardless of rootdir.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "paper_experiment(name): maps a benchmark to a paper table/figure")

@@ -1,0 +1,60 @@
+"""AGNN attention: the SDDMM -> edge-softmax -> SpMM pipeline of Section 3.4.
+
+Run with::
+
+    python examples/agnn_attention.py
+
+Builds a small attention-based GNN (AGNN), trains it briefly with the
+FlashSparse FP16 backend, and then shows the raw operator pipeline on one
+attention layer: computing edge attention scores with SDDMM, normalising them
+with an edge softmax, and aggregating the features with an SpMM whose edge
+values are the attention coefficients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn import AGNN, make_backend, make_dataset, train_node_classifier
+from repro.gnn import autograd as ag
+from repro.gnn.autograd import Tensor
+
+
+def main() -> None:
+    dataset = make_dataset("questions")
+    adjacency = dataset.normalized_adjacency()
+    backend = make_backend("flashsparse-fp16", adjacency)
+    print(
+        f"dataset: {dataset.name} — {dataset.num_nodes} nodes, "
+        f"{adjacency.nnz} (normalised) edges"
+    )
+
+    # --- train a small AGNN end to end --------------------------------------
+    model = AGNN(
+        in_features=dataset.num_features,
+        hidden_features=16,
+        num_classes=dataset.num_classes,
+        num_attention_layers=2,
+        seed=0,
+    )
+    result = train_node_classifier(model, dataset, backend, epochs=25, lr=0.01)
+    print(f"\nAGNN test accuracy after {result.epochs} epochs: {result.test_accuracy:.1%}")
+    print(
+        f"sparse operator calls served by the backend: "
+        f"{backend.stats.spmm_calls} SpMM, {backend.stats.sddmm_calls} SDDMM"
+    )
+
+    # --- one attention layer, spelled out ------------------------------------
+    print("\n=== one attention layer, operator by operator ===")
+    h = Tensor(dataset.features[:, :16].copy())
+    h_norm = ag.row_l2_normalize(h)
+    scores = ag.sddmm(backend, h_norm, h_norm)          # SDDMM: cosine per edge
+    attention = ag.edge_softmax(backend, scores)        # softmax over each row
+    aggregated = ag.spmm(backend, attention, h)         # SpMM with edge values
+    print(f"edge scores        : {scores.shape[0]} values (one per stored edge)")
+    print(f"attention rows sum : {float(np.round(attention.data[:adjacency.indptr[1]].sum(), 4))} (first node)")
+    print(f"aggregated features: shape {aggregated.shape}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file only
+exists so the package can be installed in environments whose tooling predates
+PEP 660 editable installs (e.g. ``python setup.py develop`` in offline
+containers without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+if __name__ == "__main__":
+    setup()

@@ -1,0 +1,43 @@
+"""FlashSparse reproduction package.
+
+This package reproduces *FlashSparse: Minimizing Computation Redundancy for
+Fast Sparse Matrix Multiplications on Tensor Cores* (PPoPP 2025) as a pure
+Python / NumPy library.  Because no GPU is available, the Tensor Core Units
+(TCUs), the warp-level MMA instructions, and the global-memory transaction
+behaviour are *simulated*: numeric results are produced exactly, and every
+kernel reports the hardware cost it would incur (MMA invocations, memory
+transactions, bytes moved), which an analytic performance model converts to
+estimated runtimes on H100 / RTX 4090 class devices.
+
+Public entry points live in :mod:`repro.core`:
+
+>>> import numpy as np
+>>> from repro import FlashSparseMatrix, spmm
+>>> import scipy.sparse as sp
+>>> a = sp.random(64, 64, density=0.05, format="csr", random_state=0)
+>>> fsm = FlashSparseMatrix.from_scipy(a)
+>>> b = np.random.default_rng(0).standard_normal((64, 16))
+>>> out = spmm(fsm, b)
+>>> np.allclose(out.values, a @ b, atol=1e-2)
+True
+"""
+
+from repro.core.api import (
+    FlashSparseMatrix,
+    spmm,
+    sddmm,
+    SpmmResult,
+    SddmmResult,
+    KernelConfig,
+)
+from repro.core.version import __version__
+
+__all__ = [
+    "FlashSparseMatrix",
+    "spmm",
+    "sddmm",
+    "SpmmResult",
+    "SddmmResult",
+    "KernelConfig",
+    "__version__",
+]

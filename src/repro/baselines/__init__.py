@@ -1,0 +1,103 @@
+"""Baseline systems the paper compares against (Table 3).
+
+The registry maps the paper's baseline names to :class:`Baseline` objects
+carrying cost models, execute functions and performance profiles:
+
+==============  =========  ===========  =================================
+Name            Precision  Granularity  Role in the paper
+==============  =========  ===========  =================================
+cuSPARSE        FP32       CUDA cores   normalisation baseline (Fig. 11)
+Sputnik         FP32       CUDA cores   1-D tiling
+RoDe            FP32       CUDA cores   SOTA on CUDA cores
+GE-SpMM         FP32       CUDA cores   coalesced row caching
+GNNAdvisor      FP32       CUDA cores   GNN runtime
+DGL             FP32       CUDA cores   end-to-end framework (Fig. 16)
+PyG             FP32       CUDA cores   end-to-end framework (Fig. 16)
+DTC-SpMM        TF32       16x1 TCU     SOTA on tensor cores
+TC-GNN          TF32       16x1 TCU     WMMA GNN kernels
+==============  =========  ===========  =================================
+"""
+
+from repro.baselines.common import (
+    Baseline,
+    csr_sddmm_reference,
+    csr_spmm_reference,
+)
+from repro.baselines.cuda_cores import (
+    CUSPARSE,
+    DGL_LIKE,
+    GESPMM,
+    GNNADVISOR,
+    PYG_LIKE,
+    RODE,
+    SPUTNIK,
+    CudaCoreParams,
+    cuda_sddmm_cost,
+    cuda_spmm_cost,
+)
+from repro.baselines.tcu import DTC_SPMM, TCGNN
+
+#: All baselines keyed by their paper name.
+BASELINES: dict[str, Baseline] = {
+    baseline.name: baseline
+    for baseline in (
+        CUSPARSE,
+        SPUTNIK,
+        RODE,
+        GESPMM,
+        GNNADVISOR,
+        DGL_LIKE,
+        PYG_LIKE,
+        DTC_SPMM,
+        TCGNN,
+    )
+}
+
+#: The kernel-level baselines of Figure 11 / 13 (frameworks excluded).
+KERNEL_BASELINES: tuple[str, ...] = (
+    "cuSPARSE",
+    "Sputnik",
+    "RoDe",
+    "GE-SpMM",
+    "GNNAdvisor",
+    "DTC-SpMM",
+    "TC-GNN",
+)
+
+#: The SDDMM baselines the paper evaluates (Figure 13 / Table 6).
+SDDMM_BASELINES: tuple[str, ...] = ("Sputnik", "RoDe", "TC-GNN")
+
+#: The end-to-end GNN framework baselines of Figure 16.
+GNN_FRAMEWORK_BASELINES: tuple[str, ...] = ("DGL", "PyG", "TC-GNN")
+
+
+def get_baseline(name: str) -> Baseline:
+    """Look up a baseline by its (case-insensitive) paper name."""
+    for key, baseline in BASELINES.items():
+        if key.lower() == name.strip().lower():
+            return baseline
+    raise KeyError(f"unknown baseline {name!r}; available: {sorted(BASELINES)}")
+
+
+__all__ = [
+    "Baseline",
+    "BASELINES",
+    "KERNEL_BASELINES",
+    "SDDMM_BASELINES",
+    "GNN_FRAMEWORK_BASELINES",
+    "get_baseline",
+    "csr_spmm_reference",
+    "csr_sddmm_reference",
+    "CudaCoreParams",
+    "cuda_spmm_cost",
+    "cuda_sddmm_cost",
+    "CUSPARSE",
+    "SPUTNIK",
+    "RODE",
+    "GESPMM",
+    "GNNADVISOR",
+    "DGL_LIKE",
+    "PYG_LIKE",
+    "DTC_SPMM",
+    "TCGNN",
+]

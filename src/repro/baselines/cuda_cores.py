@@ -1,0 +1,287 @@
+"""CUDA-core baselines: cuSPARSE, Sputnik, RoDe, GE-SpMM, GNNAdvisor (+ DGL/PyG).
+
+All of these execute SpMM/SDDMM on CUDA cores in FP32 (Table 3).  They share
+one cost skeleton — a row-parallel CSR kernel whose traffic is dominated by
+streaming the dense matrix B — and differ in the locality and load-balance
+properties the respective papers claim:
+
+* **cuSPARSE** — the vendor CSR kernel; decent locality, no special
+  load-balancing.
+* **Sputnik** — 1-D tiling with row swizzling; better reuse of B rows via
+  shared memory, but load imbalance on extremely skewed matrices (the
+  weakness RoDe addresses).
+* **RoDe** — row decomposition into regular/residue parts plus fine-grained
+  pipelining: the strongest CUDA-core baseline (best reuse, near-balanced).
+* **GE-SpMM** — coalesced row caching (CRC) in shared memory.
+* **GNNAdvisor** — 2-D workload management tuned for GNN inputs.
+* **DGL / PyG** — end-to-end framework backends used in Figure 16: DGL
+  dispatches to cuSPARSE-class kernels with framework overhead; PyG uses
+  edge-wise parallelisation (gather/scatter), which streams one B row per
+  edge and pays atomics on the output.
+
+The per-baseline knobs (``b_reuse``, transaction waste, per-nonzero index
+work, framework overhead) are model constants documented here; they encode
+the qualitative differences the paper describes rather than measured values.
+A key distinction from the tensor-core kernels is the ``l2_efficiency`` of
+their profiles: CUDA-core sparse kernels issue one scalar (4–16 byte) load
+per fused multiply-add and are limited by load/store-unit and instruction
+throughput well before they can saturate the L2 bandwidth, whereas the MMA
+pipelines consume wide, register-tiled operands.  This is how the model
+reflects the paper's observation that the superior arithmetic machinery of
+TCUs translates into higher *sustained* sparse throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.common import Baseline, make_sddmm_execute, make_spmm_execute
+from repro.formats.csr import CSRMatrix
+from repro.gpu.counters import CostCounter
+from repro.perfmodel.model import KernelProfile
+from repro.precision.types import Precision
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-int(a) // int(b))
+
+
+@dataclass(frozen=True)
+class CudaCoreParams:
+    """Cost-model knobs of one CUDA-core baseline."""
+
+    #: Effective reuse factor of dense-B traffic (shared memory / L2 row reuse).
+    b_reuse: float
+    #: Multiplier on transaction bytes vs useful bytes (coalescing waste).
+    transaction_waste: float
+    #: Auxiliary integer ops charged per nonzero (index decode, bookkeeping).
+    index_ops_per_nnz: float
+    #: Dense-A reuse factor for SDDMM (how often an A row is re-read).
+    a_reuse: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.b_reuse < 1.0 or self.a_reuse < 1.0:
+            raise ValueError("reuse factors must be >= 1")
+        if self.transaction_waste < 1.0:
+            raise ValueError("transaction_waste must be >= 1")
+
+
+def cuda_spmm_cost(matrix: CSRMatrix, n_dense: int, params: CudaCoreParams) -> CostCounter:
+    """Cost of a row-parallel FP32 CSR SpMM on CUDA cores."""
+    n_dense = int(n_dense)
+    if n_dense <= 0:
+        raise ValueError("n_dense must be positive")
+    nnz = matrix.nnz
+    m = matrix.n_rows
+    counter = CostCounter()
+    counter.add_cuda_fma(nnz * n_dense)
+
+    # Sparse operand: values (4 B) + column indices (4 B) per nonzero, row ptr.
+    a_bytes = nnz * 8 + (m + 1) * 4
+    counter.add_load(32, _ceil_div(int(a_bytes * params.transaction_waste), 32), useful_bytes=a_bytes)
+
+    # Dense matrix B: each nonzero touches an N-wide row slice; reuse captures
+    # shared-memory hits within a thread block.
+    b_bytes = int(nnz * n_dense * 4 / params.b_reuse)
+    counter.add_load(32, _ceil_div(int(b_bytes * params.transaction_waste), 32), useful_bytes=b_bytes)
+
+    # Output C.
+    c_bytes = m * n_dense * 4
+    counter.add_store(32, _ceil_div(c_bytes, 32), useful_bytes=c_bytes)
+
+    counter.add_index_ops(int(nnz * params.index_ops_per_nnz))
+    counter.add_warps(max(1, m * _ceil_div(n_dense, 32) // 32))
+
+    # Unique DRAM footprint: the CSR arrays, the dense B array, the output.
+    b_array_bytes = matrix.n_cols * n_dense * 4
+    counter.set_read_footprint(min(counter.bytes_read, a_bytes + b_array_bytes))
+    counter.set_write_footprint(c_bytes)
+    return counter
+
+
+def cuda_sddmm_cost(matrix: CSRMatrix, k_dense: int, params: CudaCoreParams) -> CostCounter:
+    """Cost of a row-parallel FP32 CSR SDDMM on CUDA cores."""
+    k_dense = int(k_dense)
+    if k_dense <= 0:
+        raise ValueError("k_dense must be positive")
+    nnz = matrix.nnz
+    m = matrix.n_rows
+    counter = CostCounter()
+    counter.add_cuda_fma(nnz * k_dense)
+
+    # Left dense rows: one K-wide row per output row, re-read a_reuse times less
+    # often than the naive per-nonzero estimate.
+    a_bytes = int(max(m, nnz / params.a_reuse) * k_dense * 4)
+    counter.add_load(32, _ceil_div(int(a_bytes * params.transaction_waste), 32), useful_bytes=a_bytes)
+    # Right dense rows: one K-wide row per nonzero (little reuse).
+    b_bytes = int(nnz * k_dense * 4 / params.b_reuse)
+    counter.add_load(32, _ceil_div(int(b_bytes * params.transaction_waste), 32), useful_bytes=b_bytes)
+    # Sparse structure + output values.
+    s_bytes = nnz * 8 + (m + 1) * 4
+    counter.add_load(32, _ceil_div(s_bytes, 32), useful_bytes=s_bytes)
+    counter.add_store(32, _ceil_div(nnz * 4, 32), useful_bytes=nnz * 4)
+
+    counter.add_index_ops(int(nnz * params.index_ops_per_nnz))
+    counter.add_warps(max(1, nnz // 32))
+
+    # Unique DRAM footprint: both dense operands, the sparse structure, output.
+    dense_bytes = (m + matrix.n_cols) * k_dense * 4
+    counter.set_read_footprint(min(counter.bytes_read, dense_bytes + s_bytes))
+    counter.set_write_footprint(nnz * 4)
+    return counter
+
+
+def _make_cuda_baseline(
+    name: str,
+    reference: str,
+    params: CudaCoreParams,
+    profile: KernelProfile,
+    with_sddmm: bool,
+    notes: str,
+) -> Baseline:
+    def spmm_cost(matrix: CSRMatrix, n_dense: int) -> CostCounter:
+        return cuda_spmm_cost(matrix, n_dense, params)
+
+    sddmm_cost = None
+    sddmm_execute = None
+    if with_sddmm:
+        def sddmm_cost(matrix: CSRMatrix, k_dense: int) -> CostCounter:  # noqa: F811
+            return cuda_sddmm_cost(matrix, k_dense, params)
+
+        sddmm_execute = make_sddmm_execute(name, sddmm_cost)
+
+    return Baseline(
+        name=name,
+        paper_reference=reference,
+        precision=Precision.FP32,
+        granularity="CUDA cores",
+        profile=profile,
+        spmm_cost=spmm_cost,
+        spmm_execute=make_spmm_execute(name, spmm_cost),
+        sddmm_cost=sddmm_cost,
+        sddmm_execute=sddmm_execute,
+        notes=notes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Baseline definitions
+# ---------------------------------------------------------------------------
+CUSPARSE = _make_cuda_baseline(
+    "cuSPARSE",
+    "NVIDIA cuSPARSE CSR SpMM [30]",
+    CudaCoreParams(b_reuse=1.1, transaction_waste=1.1, index_ops_per_nnz=1.0),
+    KernelProfile(
+        name="cuSPARSE",
+        tcu_efficiency=0.3,
+        cuda_efficiency=0.40,
+        memory_efficiency=0.60,
+        l2_efficiency=0.20,
+        imbalance_factor=1.20,
+        notes="vendor CSR kernel, Figure 11's normalisation baseline",
+    ),
+    with_sddmm=False,
+    notes="FP32 CSR SpMM; the speedup-normalisation baseline of Figure 11.",
+)
+
+SPUTNIK = _make_cuda_baseline(
+    "Sputnik",
+    "Gale et al., Sparse GPU kernels for deep learning [14]",
+    CudaCoreParams(b_reuse=1.25, transaction_waste=1.05, index_ops_per_nnz=1.0),
+    KernelProfile(
+        name="Sputnik",
+        cuda_efficiency=0.45,
+        memory_efficiency=0.62,
+        l2_efficiency=0.26,
+        imbalance_factor=1.45,
+        notes="1-D tiling; suffers load imbalance on skewed matrices",
+    ),
+    with_sddmm=True,
+    notes="1-D tiling / rotation; good locality, weak on unevenly distributed rows.",
+)
+
+RODE = _make_cuda_baseline(
+    "RoDe",
+    "Pang et al., row-decomposition SpMM/SDDMM (PPoPP'24) [34]",
+    CudaCoreParams(b_reuse=1.35, transaction_waste=1.0, index_ops_per_nnz=1.2),
+    KernelProfile(
+        name="RoDe",
+        cuda_efficiency=0.50,
+        memory_efficiency=0.70,
+        l2_efficiency=0.32,
+        imbalance_factor=1.05,
+        notes="regular/residue row split, balanced; strongest CUDA-core baseline",
+    ),
+    with_sddmm=True,
+    notes="State of the art on CUDA cores for both SpMM and SDDMM.",
+)
+
+GESPMM = _make_cuda_baseline(
+    "GE-SpMM",
+    "Huang et al., GE-SpMM with coalesced row caching [17]",
+    CudaCoreParams(b_reuse=1.25, transaction_waste=1.05, index_ops_per_nnz=1.2),
+    KernelProfile(
+        name="GE-SpMM",
+        cuda_efficiency=0.45,
+        memory_efficiency=0.62,
+        l2_efficiency=0.33,
+        imbalance_factor=1.25,
+        notes="coalesced row caching in shared memory",
+    ),
+    with_sddmm=False,
+    notes="Shared-memory row caching (CRC) for SpMM.",
+)
+
+GNNADVISOR = _make_cuda_baseline(
+    "GNNAdvisor",
+    "Wang et al., GNNAdvisor runtime (OSDI'21) [44]",
+    CudaCoreParams(b_reuse=1.15, transaction_waste=1.15, index_ops_per_nnz=2.0),
+    KernelProfile(
+        name="GNNAdvisor",
+        cuda_efficiency=0.40,
+        memory_efficiency=0.55,
+        l2_efficiency=0.22,
+        imbalance_factor=1.25,
+        notes="2-D workload management tuned for GNN adjacency matrices",
+    ),
+    with_sddmm=False,
+    notes="Adaptive 2-D workload management; FP32 CUDA cores.",
+)
+
+#: DGL's sparse backend (cuSPARSE-class kernels plus framework dispatch cost).
+DGL_LIKE = _make_cuda_baseline(
+    "DGL",
+    "Deep Graph Library sparse backend [9]",
+    CudaCoreParams(b_reuse=1.2, transaction_waste=1.05, index_ops_per_nnz=1.0),
+    KernelProfile(
+        name="DGL",
+        cuda_efficiency=0.45,
+        memory_efficiency=0.62,
+        l2_efficiency=0.28,
+        imbalance_factor=1.15,
+        extra_launch_us=25.0,
+        notes="cuSPARSE-class kernels plus framework dispatch overhead",
+    ),
+    with_sddmm=True,
+    notes="End-to-end GNN framework baseline of Figure 16.",
+)
+
+#: PyTorch Geometric: edge-wise parallelisation with gather/scatter.
+PYG_LIKE = _make_cuda_baseline(
+    "PyG",
+    "PyTorch Geometric edge-wise backend [13]",
+    CudaCoreParams(b_reuse=1.0, transaction_waste=1.4, index_ops_per_nnz=4.0),
+    KernelProfile(
+        name="PyG",
+        cuda_efficiency=0.35,
+        memory_efficiency=0.50,
+        l2_efficiency=0.16,
+        imbalance_factor=1.10,
+        extra_launch_us=40.0,
+        notes="edge-parallel gather/scatter with atomics on the output",
+    ),
+    with_sddmm=True,
+    notes="Edge-wise parallelisation; materialises per-edge messages.",
+)

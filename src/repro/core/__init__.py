@@ -1,0 +1,27 @@
+"""Public FlashSparse API.
+
+:mod:`repro.core.api` exposes the user-facing entry points
+(:class:`~repro.core.api.FlashSparseMatrix`, :func:`~repro.core.api.spmm`,
+:func:`~repro.core.api.sddmm`); everything else in the package is the
+machinery behind them.
+"""
+
+from repro.core.api import (
+    FlashSparseMatrix,
+    KernelConfig,
+    SpmmResult,
+    SddmmResult,
+    spmm,
+    sddmm,
+)
+from repro.core.version import __version__
+
+__all__ = [
+    "FlashSparseMatrix",
+    "KernelConfig",
+    "SpmmResult",
+    "SddmmResult",
+    "spmm",
+    "sddmm",
+    "__version__",
+]

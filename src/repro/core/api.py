@@ -1,0 +1,281 @@
+"""User-facing FlashSparse API.
+
+The typical flow mirrors how the paper integrates FlashSparse into PyTorch:
+
+1. build a :class:`FlashSparseMatrix` from any sparse input (scipy, CSR
+   arrays, dense); this runs the sparse-matrix translation into ME-BCRS,
+2. call :func:`spmm` / :func:`sddmm` with dense operands,
+3. inspect the result's ``values``, ``counter`` (simulated hardware cost)
+   and, when a device is requested, the estimated runtime and GFLOPS.
+
+>>> import numpy as np, scipy.sparse as sp
+>>> from repro import FlashSparseMatrix, spmm
+>>> a = sp.random(128, 128, density=0.05, format="csr", random_state=1)
+>>> m = FlashSparseMatrix.from_scipy(a)
+>>> b = np.ones((128, 32))
+>>> res = spmm(m, b, device="rtx4090")
+>>> res.values.shape
+(128, 32)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.formats.blocked import BlockedVectorFormat
+from repro.formats.csr import CSRMatrix
+from repro.formats.mebcrs import MEBCRSMatrix
+from repro.formats.sgt16 import SGT16Matrix
+from repro.gpu.counters import CostCounter
+from repro.gpu.device import GPUSpec, get_device
+from repro.kernels.common import FlashSparseConfig
+from repro.kernels.sddmm_flash import FLASH_SDDMM_PROFILE, sddmm_flash_cost, sddmm_flash_execute
+from repro.kernels.spmm_flash import FLASH_SPMM_PROFILE, spmm_flash_cost, spmm_flash_execute
+from repro.perfmodel.model import (
+    TimeEstimate,
+    estimate_time,
+    gflops,
+    sddmm_useful_flops,
+    spmm_useful_flops,
+)
+from repro.precision.types import Precision
+
+#: Public alias: the kernel configuration object.
+KernelConfig = FlashSparseConfig
+
+
+def _resolve_device(device: str | GPUSpec | None) -> GPUSpec | None:
+    if device is None:
+        return None
+    if isinstance(device, GPUSpec):
+        return device
+    return get_device(device)
+
+
+@dataclass
+class FlashSparseMatrix:
+    """A sparse matrix prepared for FlashSparse kernels.
+
+    Holds the CSR interchange form and caches the translated ME-BCRS (and,
+    when needed, the 16×1) representations per precision so repeated kernel
+    calls do not re-run the preprocessing (static-sparsity scenario of
+    Section 4.4).
+    """
+
+    csr: CSRMatrix
+    _mebcrs_cache: dict[Precision, MEBCRSMatrix] = field(default_factory=dict, repr=False)
+    _sgt16_cache: dict[Precision, SGT16Matrix] = field(default_factory=dict, repr=False)
+
+    # ---------------------------------------------------------- constructors
+    @classmethod
+    def from_scipy(cls, matrix: sp.spmatrix | sp.sparray) -> "FlashSparseMatrix":
+        """Build from any scipy sparse matrix."""
+        return cls(csr=CSRMatrix.from_scipy(matrix))
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "FlashSparseMatrix":
+        """Build from a dense array (zeros dropped)."""
+        return cls(csr=CSRMatrix.from_dense(dense))
+
+    @classmethod
+    def from_csr_arrays(
+        cls, indptr: np.ndarray, indices: np.ndarray, data: np.ndarray, shape: tuple[int, int]
+    ) -> "FlashSparseMatrix":
+        """Build from raw CSR arrays."""
+        return cls(csr=CSRMatrix(indptr, indices, data, shape))
+
+    # ------------------------------------------------------------ properties
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Matrix shape."""
+        return self.csr.shape
+
+    @property
+    def nnz(self) -> int:
+        """Number of nonzeros."""
+        return self.csr.nnz
+
+    # ------------------------------------------------------------- translate
+    def mebcrs(self, precision: Precision | str = Precision.FP16) -> MEBCRSMatrix:
+        """The ME-BCRS translation at ``precision`` (cached)."""
+        precision = Precision(precision)
+        if precision not in self._mebcrs_cache:
+            self._mebcrs_cache[precision] = MEBCRSMatrix.from_csr(self.csr, precision=precision)
+        return self._mebcrs_cache[precision]
+
+    def sgt16(self, precision: Precision | str = Precision.TF32) -> SGT16Matrix:
+        """The 16×1 baseline translation at ``precision`` (cached)."""
+        precision = Precision(precision)
+        if precision not in self._sgt16_cache:
+            self._sgt16_cache[precision] = SGT16Matrix.from_csr(self.csr, precision=precision)
+        return self._sgt16_cache[precision]
+
+    def to_scipy(self) -> sp.csr_matrix:
+        """Back to a scipy CSR matrix."""
+        return self.csr.to_scipy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FlashSparseMatrix(shape={self.shape}, nnz={self.nnz})"
+
+
+@dataclass
+class SpmmResult:
+    """Result of :func:`spmm`."""
+
+    #: Dense product ``A @ B`` (float32).
+    values: np.ndarray
+    #: Simulated hardware cost.
+    counter: CostCounter
+    #: Useful FLOPs (2 * nnz * N).
+    useful_flops: int
+    #: Estimated runtime on the requested device (None when no device given).
+    estimate: TimeEstimate | None = None
+    #: Extra information from the kernel.
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def gflops(self) -> float | None:
+        """Estimated throughput in GFLOP/s (None without a device)."""
+        if self.estimate is None:
+            return None
+        return gflops(self.useful_flops, self.estimate.total_time_s)
+
+
+@dataclass
+class SddmmResult:
+    """Result of :func:`sddmm`."""
+
+    #: Sparse output in blocked form (same pattern as the mask).
+    output: BlockedVectorFormat
+    #: Simulated hardware cost.
+    counter: CostCounter
+    #: Useful FLOPs (2 * nnz * K).
+    useful_flops: int
+    #: Estimated runtime on the requested device (None when no device given).
+    estimate: TimeEstimate | None = None
+    #: Extra information from the kernel.
+    meta: dict = field(default_factory=dict)
+
+    def to_csr(self) -> CSRMatrix:
+        """The sparse output as CSR."""
+        return self.output.to_csr()
+
+    def to_scipy(self) -> sp.csr_matrix:
+        """The sparse output as a scipy CSR matrix."""
+        return self.output.to_csr().to_scipy()
+
+    @property
+    def gflops(self) -> float | None:
+        """Estimated throughput in GFLOP/s (None without a device)."""
+        if self.estimate is None:
+            return None
+        return gflops(self.useful_flops, self.estimate.total_time_s)
+
+
+def _as_input(matrix) -> FlashSparseMatrix:
+    if isinstance(matrix, FlashSparseMatrix):
+        return matrix
+    if isinstance(matrix, CSRMatrix):
+        return FlashSparseMatrix(csr=matrix)
+    if sp.issparse(matrix):
+        return FlashSparseMatrix.from_scipy(matrix)
+    if isinstance(matrix, np.ndarray):
+        return FlashSparseMatrix.from_dense(matrix)
+    raise TypeError(
+        "expected FlashSparseMatrix, CSRMatrix, scipy sparse matrix or ndarray, "
+        f"got {type(matrix).__name__}"
+    )
+
+
+def spmm(
+    a,
+    b: np.ndarray,
+    precision: Precision | str = Precision.FP16,
+    coalesced: bool = True,
+    device: str | GPUSpec | None = None,
+) -> SpmmResult:
+    """Sparse × dense matrix multiplication with the FlashSparse kernel.
+
+    Parameters
+    ----------
+    a:
+        Sparse matrix (FlashSparseMatrix, CSRMatrix, scipy sparse, or dense
+        ndarray that will be sparsified).
+    b:
+        Dense right-hand side of shape ``(a.shape[1], N)``.
+    precision:
+        ``"fp16"`` (default) or ``"tf32"``.
+    coalesced:
+        Use the memory-efficient thread mapping (default True).
+    device:
+        Optional device name (``"h100"``, ``"rtx4090"``) or
+        :class:`~repro.gpu.device.GPUSpec`; when given, the result carries an
+        estimated runtime and GFLOPS.
+    """
+    inp = _as_input(a)
+    config = FlashSparseConfig(precision=Precision(precision), coalesced=coalesced)
+    fmt = inp.mebcrs(config.precision)
+    result = spmm_flash_execute(fmt, b, config)
+    spec = _resolve_device(device)
+    estimate = estimate_time(result.counter, spec, FLASH_SPMM_PROFILE) if spec else None
+    return SpmmResult(
+        values=result.values,
+        counter=result.counter,
+        useful_flops=result.useful_flops,
+        estimate=estimate,
+        meta=result.meta,
+    )
+
+
+def sddmm(
+    mask,
+    a: np.ndarray,
+    b: np.ndarray,
+    precision: Precision | str = Precision.FP16,
+    scale_by_mask: bool = False,
+    device: str | GPUSpec | None = None,
+) -> SddmmResult:
+    """Sampled dense × dense matrix multiplication with the FlashSparse kernel.
+
+    Computes ``out[i, j] = <a[i, :], b[j, :]>`` for every nonzero position of
+    ``mask`` (optionally scaled by the mask's values).
+    """
+    inp = _as_input(mask)
+    config = FlashSparseConfig(precision=Precision(precision))
+    fmt = inp.mebcrs(config.precision)
+    result = sddmm_flash_execute(fmt, a, b, config, scale_by_mask=scale_by_mask)
+    spec = _resolve_device(device)
+    estimate = estimate_time(result.counter, spec, FLASH_SDDMM_PROFILE) if spec else None
+    return SddmmResult(
+        output=result.output,
+        counter=result.counter,
+        useful_flops=result.useful_flops,
+        estimate=estimate,
+        meta=result.meta,
+    )
+
+
+def spmm_cost(
+    a,
+    n_dense: int,
+    precision: Precision | str = Precision.FP16,
+    coalesced: bool = True,
+) -> CostCounter:
+    """Cost-only SpMM (no numeric result); see :func:`spmm`."""
+    inp = _as_input(a)
+    config = FlashSparseConfig(precision=Precision(precision), coalesced=coalesced)
+    return spmm_flash_cost(inp.mebcrs(config.precision), n_dense, config)
+
+
+def sddmm_cost(
+    mask,
+    k_dense: int,
+    precision: Precision | str = Precision.FP16,
+) -> CostCounter:
+    """Cost-only SDDMM (no numeric result); see :func:`sddmm`."""
+    inp = _as_input(mask)
+    config = FlashSparseConfig(precision=Precision(precision))
+    return sddmm_flash_cost(inp.mebcrs(config.precision), k_dense, config)

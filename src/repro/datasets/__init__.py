@@ -1,0 +1,41 @@
+"""Synthetic sparse-matrix and graph datasets.
+
+The paper evaluates on ~500 SuiteSparse matrices plus 15 GNN graphs
+(Table 4).  Neither collection ships with this repository (no network, no
+multi-GB downloads), so this subpackage generates synthetic stand-ins that
+cover the same structural regimes: very high sparsity (>99 %), power-law or
+uniform nonzero distribution, average row lengths from ~3 to ~500, and row
+counts spanning two orders of magnitude.
+
+* :mod:`repro.datasets.generators` — individual matrix generators
+  (Erdős–Rényi, power-law, banded/FEM-like, block-community).
+* :mod:`repro.datasets.graphs` — named stand-ins for the Table 4 graph
+  datasets with matching average row length (node counts are scaled down so
+  the simulated kernels remain tractable; the scale is configurable).
+* :mod:`repro.datasets.collection` — a SuiteSparse-like collection sampler
+  used by the per-matrix benchmark sweeps.
+"""
+
+from repro.datasets.generators import (
+    erdos_renyi_matrix,
+    power_law_matrix,
+    banded_matrix,
+    block_community_matrix,
+    random_rectangular_matrix,
+)
+from repro.datasets.graphs import GraphSpec, TABLE4_GRAPHS, make_graph, list_graphs
+from repro.datasets.collection import MatrixCase, suitesparse_like_collection
+
+__all__ = [
+    "erdos_renyi_matrix",
+    "power_law_matrix",
+    "banded_matrix",
+    "block_community_matrix",
+    "random_rectangular_matrix",
+    "GraphSpec",
+    "TABLE4_GRAPHS",
+    "make_graph",
+    "list_graphs",
+    "MatrixCase",
+    "suitesparse_like_collection",
+]

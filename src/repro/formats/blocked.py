@@ -1,0 +1,260 @@
+"""Generic blocked nonzero-vector format.
+
+ME-BCRS (8×1 vectors, FlashSparse), SR-BCRS (8×1 vectors with zero-vector
+padding) and the SGT-style 16×1 format of TC-GNN / DTC-SpMM all share the
+same skeleton: the matrix is cut into row windows of ``vector_size`` rows,
+the nonzero vectors (columns with at least one nonzero inside the window)
+are packed together, and groups of ``k`` consecutive vectors form the sparse
+TC blocks consumed by the MMA instructions.
+
+:class:`BlockedVectorFormat` implements that skeleton once; the concrete
+formats in :mod:`repro.formats.mebcrs`, :mod:`repro.formats.srbcrs` and
+:mod:`repro.formats.sgt16` specialise the vector size, the padding policy and
+the memory-footprint accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.formats.windows import WindowPartition, partition_windows
+from repro.precision.types import Precision, dtype_for
+
+
+@dataclass
+class BlockedVectorFormat:
+    """Window/vector-blocked sparse matrix.
+
+    Attributes
+    ----------
+    partition:
+        The nonzero-vector structure (windows, vector column indices).
+    vector_values:
+        Array of shape ``(num_nonzero_vectors, vector_size)``;
+        ``vector_values[j, r]`` is the element at row offset ``r`` of nonzero
+        vector ``j`` within its window (zero where the original matrix has no
+        entry).  This is a layout-neutral view; :meth:`values_row_major`
+        materialises the paper's exact per-block row-major byte layout.
+    k:
+        TC-block width — number of vectors grouped per MMA operand
+        (8 for FP16, 4 for TF32 in FlashSparse; 8 for the 16×1 baselines).
+    precision:
+        Storage precision of the values.
+    """
+
+    partition: WindowPartition
+    vector_values: np.ndarray
+    k: int
+    precision: Precision = Precision.FP32
+    format_name: str = field(default="blocked", repr=False)
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError("k must be positive")
+        self.precision = Precision(self.precision)
+        expected = (self.partition.num_nonzero_vectors, self.partition.vector_size)
+        if self.vector_values.shape != expected:
+            raise ValueError(
+                f"vector_values must have shape {expected}, got {self.vector_values.shape}"
+            )
+
+    # ---------------------------------------------------------- constructors
+    @classmethod
+    def from_csr(
+        cls,
+        matrix: CSRMatrix,
+        vector_size: int,
+        k: int,
+        precision: Precision | str = Precision.FP32,
+        **kwargs,
+    ) -> "BlockedVectorFormat":
+        """Translate a CSR matrix into the blocked nonzero-vector format.
+
+        This is the "sparse matrix translation" step of Figure 3; the paper
+        performs it with a CUDA kernel, here it is fully vectorised NumPy.
+        """
+        precision = Precision(precision)
+        partition = partition_windows(matrix, vector_size)
+        values = np.zeros(
+            (partition.num_nonzero_vectors, vector_size), dtype=dtype_for(precision)
+        )
+        if matrix.nnz:
+            row_of_entry = np.repeat(
+                np.arange(matrix.n_rows, dtype=np.int64),
+                np.diff(matrix.indptr).astype(np.int64),
+            )
+            row_in_window = (row_of_entry % vector_size).astype(np.int64)
+            values[partition.nnz_vector_of_entry, row_in_window] = matrix.data.astype(
+                dtype_for(precision)
+            )
+        return cls(partition=partition, vector_values=values, k=k, precision=precision, **kwargs)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Original matrix shape."""
+        return (self.partition.n_rows, self.partition.n_cols)
+
+    @property
+    def vector_size(self) -> int:
+        """Nonzero-vector length / window height."""
+        return self.partition.vector_size
+
+    @property
+    def num_windows(self) -> int:
+        """Number of row windows."""
+        return self.partition.num_windows
+
+    @property
+    def num_nonzero_vectors(self) -> int:
+        """Number of stored nonzero vectors."""
+        return self.partition.num_nonzero_vectors
+
+    @property
+    def nnz(self) -> int:
+        """Number of nonzeros of the original matrix."""
+        return self.partition.nnz
+
+    @property
+    def num_tc_blocks(self) -> int:
+        """Total number of sparse TC blocks (groups of up to ``k`` vectors)."""
+        return self.partition.num_tc_blocks(self.k)
+
+    @property
+    def row_pointers(self) -> np.ndarray:
+        """Per-window start offsets into :attr:`column_indices` (ME-BCRS array 1)."""
+        return self.partition.window_ptr
+
+    @property
+    def column_indices(self) -> np.ndarray:
+        """Column index of every stored nonzero vector (ME-BCRS array 2)."""
+        return self.partition.vector_cols
+
+    @property
+    def zero_fill(self) -> int:
+        """Number of explicit zeros stored inside nonzero vectors."""
+        return self.partition.zero_fill
+
+    # -------------------------------------------------------------- accessors
+    def window_vector_range(self, window: int) -> tuple[int, int]:
+        """Half-open range of nonzero-vector indices belonging to ``window``."""
+        return (
+            int(self.partition.window_ptr[window]),
+            int(self.partition.window_ptr[window + 1]),
+        )
+
+    def window_blocks(self, window: int) -> int:
+        """Number of TC blocks in ``window``."""
+        start, end = self.window_vector_range(window)
+        count = end - start
+        return (count + self.k - 1) // self.k
+
+    def block_columns(self, window: int, block: int) -> np.ndarray:
+        """Column indices of the vectors in TC block ``block`` of ``window``."""
+        start, end = self.window_vector_range(window)
+        lo = start + block * self.k
+        hi = min(lo + self.k, end)
+        if lo >= end:
+            raise IndexError(f"window {window} has no block {block}")
+        return self.partition.vector_cols[lo:hi]
+
+    def block_values(self, window: int, block: int) -> np.ndarray:
+        """Values of TC block ``block`` of ``window``.
+
+        Returns an array of shape ``(vector_size, width)`` where ``width`` is
+        the number of vectors actually present in the block (``<= k``; the
+        last block of a window may be narrower, which is exactly the case
+        ME-BCRS refuses to pad).
+        """
+        start, end = self.window_vector_range(window)
+        lo = start + block * self.k
+        hi = min(lo + self.k, end)
+        if lo >= end:
+            raise IndexError(f"window {window} has no block {block}")
+        # vector_values is (vectors, vector_size); the TC block is
+        # (vector_size rows, width vectors).
+        return np.asarray(self.vector_values[lo:hi].T)
+
+    def iter_window_blocks(self, window: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(block_columns, block_values)`` for every block of a window."""
+        for block in range(self.window_blocks(window)):
+            yield self.block_columns(window, block), self.block_values(window, block)
+
+    # ----------------------------------------------------------- conversions
+    def to_csr(self) -> CSRMatrix:
+        """Convert back to CSR (explicit stored zeros are dropped)."""
+        v = self.vector_size
+        n_rows, n_cols = self.shape
+        num_vecs = self.num_nonzero_vectors
+        if num_vecs == 0:
+            return CSRMatrix(
+                indptr=np.zeros(n_rows + 1, dtype=np.int64),
+                indices=np.zeros(0, dtype=np.int32),
+                data=np.zeros(0, dtype=np.float32),
+                shape=self.shape,
+            )
+        window_of_vector = np.repeat(
+            np.arange(self.num_windows, dtype=np.int64), self.partition.vectors_per_window
+        )
+        rows = (window_of_vector[:, None] * v + np.arange(v)[None, :]).reshape(-1)
+        cols = np.repeat(self.partition.vector_cols.astype(np.int64), v)
+        vals = np.asarray(self.vector_values, dtype=np.float64).reshape(-1)
+        mask = (vals != 0.0) & (rows < n_rows)
+        return CSRMatrix.from_coo(rows[mask], cols[mask], vals[mask], self.shape)
+
+    def to_dense(self) -> np.ndarray:
+        """Dense reconstruction (tests / small matrices only)."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        v = self.vector_size
+        for w in range(self.num_windows):
+            row0 = w * v
+            row1 = min(row0 + v, self.shape[0])
+            start, end = self.window_vector_range(w)
+            if start == end:
+                continue
+            cols = self.partition.vector_cols[start:end].astype(np.int64)
+            block = self.vector_values[start:end].T  # (v, n_vectors)
+            dense[row0:row1, cols] = block[: row1 - row0]
+        return dense
+
+    def values_row_major(self) -> np.ndarray:
+        """Materialise the per-block row-major value layout of the paper.
+
+        For every window and every TC block the block's elements are emitted
+        row by row (``vector_size`` rows of ``width`` elements), exactly the
+        "Values uses sparse TC blocks as strides, storing the elements of each
+        sparse TC block in row-major" layout of Figure 10.
+        """
+        chunks: list[np.ndarray] = []
+        for w in range(self.num_windows):
+            for b in range(self.window_blocks(w)):
+                chunks.append(self.block_values(w, b).reshape(-1))
+        if not chunks:
+            return np.zeros(0, dtype=dtype_for(self.precision))
+        return np.concatenate(chunks).astype(dtype_for(self.precision))
+
+    # --------------------------------------------------------------- metrics
+    def value_element_bytes(self) -> int:
+        """Bytes per stored value element."""
+        return dtype_for(self.precision).itemsize
+
+    def memory_footprint_bytes(self, index_bytes: int = 4) -> int:
+        """Bytes used by the three format arrays (no padding in the base class)."""
+        value_count = self.num_nonzero_vectors * self.vector_size
+        return int(
+            (self.num_windows + 1) * index_bytes
+            + self.num_nonzero_vectors * index_bytes
+            + value_count * self.value_element_bytes()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(shape={self.shape}, nnz={self.nnz}, "
+            f"vector_size={self.vector_size}, k={self.k}, "
+            f"vectors={self.num_nonzero_vectors}, blocks={self.num_tc_blocks}, "
+            f"precision={self.precision})"
+        )

@@ -1,0 +1,163 @@
+"""A small CSR container used as the interchange format.
+
+The class wraps the three CSR arrays with validation, conversion helpers and
+the statistics (rows, columns, nnz, average row length) that the dataset
+tables report.  ``scipy.sparse`` is used for conversions and reference
+computations but the container keeps its own arrays so kernels control the
+exact dtypes (int32 indices, value dtype chosen by precision).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclass
+class CSRMatrix:
+    """Compressed Sparse Row matrix.
+
+    Attributes
+    ----------
+    indptr:
+        Row pointer array of length ``n_rows + 1`` (int64).
+    indices:
+        Column indices of the nonzeros, ordered by row (int32).
+    data:
+        Nonzero values (float32 unless specified otherwise).
+    shape:
+        ``(n_rows, n_cols)``.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+    shape: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.indices = np.asarray(self.indices, dtype=np.int32)
+        self.data = np.asarray(self.data)
+        n_rows, n_cols = self.shape
+        if n_rows < 0 or n_cols < 0:
+            raise ValueError("matrix dimensions must be non-negative")
+        if self.indptr.ndim != 1 or self.indptr.shape[0] != n_rows + 1:
+            raise ValueError("indptr must have length n_rows + 1")
+        if self.indptr[0] != 0:
+            raise ValueError("indptr must start at 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.shape[0] != self.indptr[-1] or self.data.shape[0] != self.indptr[-1]:
+            raise ValueError("indices/data length must equal indptr[-1]")
+        if self.indices.size and (self.indices.min() < 0 or self.indices.max() >= n_cols):
+            raise ValueError("column index out of range")
+
+    # ------------------------------------------------------------ properties
+    @property
+    def n_rows(self) -> int:
+        """Number of rows."""
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        """Number of columns."""
+        return self.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored nonzeros."""
+        return int(self.indptr[-1])
+
+    @property
+    def avg_row_length(self) -> float:
+        """Average number of nonzeros per row (Table 4's AvgRowLength)."""
+        if self.n_rows == 0:
+            return 0.0
+        return self.nnz / self.n_rows
+
+    @property
+    def density(self) -> float:
+        """Fraction of entries that are nonzero."""
+        total = self.n_rows * self.n_cols
+        return self.nnz / total if total else 0.0
+
+    # ---------------------------------------------------------- constructors
+    @classmethod
+    def from_scipy(cls, matrix: sp.spmatrix | sp.sparray, dtype=np.float32) -> "CSRMatrix":
+        """Build from any scipy sparse matrix (converted to canonical CSR)."""
+        csr = sp.csr_matrix(matrix).astype(dtype)
+        csr.sum_duplicates()
+        csr.sort_indices()
+        return cls(
+            indptr=csr.indptr.astype(np.int64),
+            indices=csr.indices.astype(np.int32),
+            data=np.asarray(csr.data, dtype=dtype),
+            shape=csr.shape,
+        )
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, dtype=np.float32) -> "CSRMatrix":
+        """Build from a dense 2-D array (zeros are dropped)."""
+        return cls.from_scipy(sp.csr_matrix(np.asarray(dense, dtype=dtype)))
+
+    @classmethod
+    def from_coo(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray | None,
+        shape: tuple[int, int],
+        dtype=np.float32,
+    ) -> "CSRMatrix":
+        """Build from COO triplets; duplicate entries are summed."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if vals is None:
+            vals = np.ones(rows.shape[0], dtype=dtype)
+        coo = sp.coo_matrix((np.asarray(vals, dtype=dtype), (rows, cols)), shape=shape)
+        return cls.from_scipy(coo, dtype=dtype)
+
+    # ----------------------------------------------------------- conversions
+    def to_scipy(self) -> sp.csr_matrix:
+        """Convert to a scipy CSR matrix."""
+        return sp.csr_matrix(
+            (self.data.copy(), self.indices.astype(np.int64), self.indptr.copy()),
+            shape=self.shape,
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Convert to a dense ndarray (use only for small matrices/tests)."""
+        return np.asarray(self.to_scipy().todense())
+
+    def row_slice(self, row: int) -> tuple[np.ndarray, np.ndarray]:
+        """Column indices and values of one row."""
+        start, end = int(self.indptr[row]), int(self.indptr[row + 1])
+        return self.indices[start:end], self.data[start:end]
+
+    def row_lengths(self) -> np.ndarray:
+        """Number of nonzeros in every row."""
+        return np.diff(self.indptr)
+
+    # ------------------------------------------------------------- utilities
+    def memory_footprint_bytes(self, value_bytes: int = 4, index_bytes: int = 4) -> int:
+        """Bytes needed to store the CSR arrays."""
+        return int(
+            self.indptr.shape[0] * index_bytes
+            + self.indices.shape[0] * index_bytes
+            + self.data.shape[0] * value_bytes
+        )
+
+    def with_values(self, data: np.ndarray) -> "CSRMatrix":
+        """Return a copy sharing the structure but holding new values."""
+        data = np.asarray(data)
+        if data.shape[0] != self.nnz:
+            raise ValueError("replacement values must have one entry per nonzero")
+        return CSRMatrix(self.indptr.copy(), self.indices.copy(), data, self.shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"avg_row_length={self.avg_row_length:.2f})"
+        )

@@ -1,0 +1,160 @@
+"""Row-window / nonzero-vector partitioning.
+
+Every TCU approach in the paper starts by slicing the sparse matrix into row
+*windows* whose height equals the nonzero-vector length (16 for TC-GNN /
+DTC-SpMM, 8 for FlashSparse).  Within a window, any column that contains at
+least one nonzero is a *nonzero vector*; the all-zero columns are dropped and
+the nonzero vectors are packed next to each other before being grouped into
+TC blocks of ``k`` vectors (Section 2.2, Figure 2).
+
+:func:`partition_windows` performs this preprocessing in a fully vectorised
+way (the paper performs it with a CUDA kernel; here NumPy plays that role)
+and returns a :class:`WindowPartition`, the shared substrate for ME-BCRS,
+SR-BCRS and the 16×1 SGT format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+
+
+@dataclass
+class WindowPartition:
+    """Nonzero-vector structure of a sparse matrix for a given vector size.
+
+    Attributes
+    ----------
+    vector_size:
+        Window height / nonzero-vector length (8 or 16).
+    n_rows, n_cols:
+        Original matrix dimensions.
+    num_windows:
+        ``ceil(n_rows / vector_size)``.
+    window_ptr:
+        Array of length ``num_windows + 1``; ``window_ptr[w]:window_ptr[w+1]``
+        indexes the nonzero vectors of window ``w`` in ``vector_cols``.
+    vector_cols:
+        Column index of each nonzero vector, sorted within each window.
+    nnz_vector_of_entry:
+        For every CSR nonzero (in CSR order), the global index of the nonzero
+        vector that contains it.
+    nnz:
+        Number of stored nonzeros of the original matrix.
+    """
+
+    vector_size: int
+    n_rows: int
+    n_cols: int
+    num_windows: int
+    window_ptr: np.ndarray
+    vector_cols: np.ndarray
+    nnz_vector_of_entry: np.ndarray
+    nnz: int
+
+    # ------------------------------------------------------------ statistics
+    @property
+    def num_nonzero_vectors(self) -> int:
+        """Total number of nonzero vectors across all windows."""
+        return int(self.vector_cols.shape[0])
+
+    @property
+    def vectors_per_window(self) -> np.ndarray:
+        """Number of nonzero vectors in each window."""
+        return np.diff(self.window_ptr)
+
+    @property
+    def zero_fill(self) -> int:
+        """Zero elements stored inside the nonzero vectors (Table 2)."""
+        return self.num_nonzero_vectors * self.vector_size - self.nnz
+
+    def tc_blocks_per_window(self, k: int) -> np.ndarray:
+        """Number of TC blocks (groups of ``k`` vectors) in each window."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        counts = self.vectors_per_window
+        return (counts + k - 1) // k
+
+    def num_tc_blocks(self, k: int) -> int:
+        """Total number of TC blocks when vectors are grouped ``k`` at a time."""
+        return int(self.tc_blocks_per_window(k).sum())
+
+    def padded_vectors(self, k: int) -> int:
+        """Number of zero vectors a padding-based format (SR-BCRS) would add."""
+        counts = self.vectors_per_window
+        return int((self.tc_blocks_per_window(k) * k - counts).sum())
+
+    # -------------------------------------------------------------- accessors
+    def window_columns(self, window: int) -> np.ndarray:
+        """Column indices of the nonzero vectors in ``window`` (sorted)."""
+        start, end = int(self.window_ptr[window]), int(self.window_ptr[window + 1])
+        return self.vector_cols[start:end]
+
+    def window_row_range(self, window: int) -> tuple[int, int]:
+        """Half-open row range ``[start, stop)`` covered by ``window``."""
+        start = window * self.vector_size
+        stop = min(start + self.vector_size, self.n_rows)
+        return start, stop
+
+
+def partition_windows(matrix: CSRMatrix, vector_size: int) -> WindowPartition:
+    """Partition ``matrix`` into row windows of ``vector_size`` nonzero vectors.
+
+    Parameters
+    ----------
+    matrix:
+        Input sparse matrix in CSR form.
+    vector_size:
+        Nonzero-vector length: 8 for FlashSparse, 16 for TC-GNN / DTC-SpMM.
+    """
+    if vector_size <= 0:
+        raise ValueError("vector_size must be positive")
+    n_rows, n_cols = matrix.shape
+    num_windows = (n_rows + vector_size - 1) // vector_size if n_rows else 0
+    nnz = matrix.nnz
+
+    if nnz == 0:
+        return WindowPartition(
+            vector_size=vector_size,
+            n_rows=n_rows,
+            n_cols=n_cols,
+            num_windows=num_windows,
+            window_ptr=np.zeros(num_windows + 1, dtype=np.int64),
+            vector_cols=np.zeros(0, dtype=np.int32),
+            nnz_vector_of_entry=np.zeros(0, dtype=np.int64),
+            nnz=0,
+        )
+
+    # Row index of every nonzero, derived from indptr.
+    row_of_entry = np.repeat(
+        np.arange(n_rows, dtype=np.int64), np.diff(matrix.indptr).astype(np.int64)
+    )
+    window_of_entry = row_of_entry // vector_size
+    cols = matrix.indices.astype(np.int64)
+
+    # A nonzero vector is a unique (window, column) pair.  Encoding the pair
+    # as a single integer keeps the unique() call fast and returns the
+    # vectors sorted by window then column, which is the order the formats
+    # store them in.
+    key = window_of_entry * np.int64(n_cols) + cols
+    unique_keys, inverse = np.unique(key, return_inverse=True)
+    vector_windows = (unique_keys // n_cols).astype(np.int64)
+    vector_cols = (unique_keys % n_cols).astype(np.int32)
+
+    window_ptr = np.zeros(num_windows + 1, dtype=np.int64)
+    counts = np.bincount(vector_windows, minlength=num_windows)
+    np.cumsum(counts, out=window_ptr[1:])
+
+    return WindowPartition(
+        vector_size=vector_size,
+        n_rows=n_rows,
+        n_cols=n_cols,
+        num_windows=num_windows,
+        window_ptr=window_ptr,
+        vector_cols=vector_cols,
+        nnz_vector_of_entry=inverse.astype(np.int64),
+        nnz=nnz,
+    )

@@ -1,0 +1,235 @@
+"""Sparse-operator backends for GNN training.
+
+A :class:`SparseBackend` owns a fixed adjacency pattern (the graph does not
+change during training — the "static sparse scenario" of Section 4.4) and
+provides:
+
+* numerics for SpMM / SDDMM / edge-softmax forward and backward passes, with
+  the backend's precision emulation applied (FP16/TF32 for FlashSparse and
+  TC-GNN, FP32 for the CUDA-core frameworks);
+* estimated per-call kernel times on a target device, produced by the same
+  cost models the kernel benchmarks use, so the end-to-end comparison of
+  Figure 16 charges every backend its own sparse-kernel cost while the dense
+  (feature-update) work is identical across backends.
+
+The heavy numerics go through SciPy's CSR routines: a CUDA-core FP32 SpMM
+and a CPU FP32 SpMM compute the same values, and the tensor-core precisions
+are emulated by quantising the operands first.  The hardware-cost accounting
+lives in the cost models, not in the arithmetic path, so training remains
+fast enough to run the accuracy study (Table 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.baselines import get_baseline
+from repro.formats.csr import CSRMatrix
+from repro.gpu.device import GPUSpec
+from repro.kernels.common import FlashSparseConfig
+from repro.kernels.sddmm_flash import FLASH_SDDMM_PROFILE, sddmm_flash_cost
+from repro.kernels.spmm_flash import FLASH_SPMM_PROFILE, spmm_flash_cost
+from repro.perfmodel.model import KernelProfile, estimate_time
+from repro.precision.types import Precision, quantize
+
+#: Names accepted by :func:`make_backend`.
+BACKEND_NAMES: tuple[str, ...] = (
+    "flashsparse-fp16",
+    "flashsparse-tf32",
+    "dgl",
+    "pyg",
+    "tcgnn",
+)
+
+
+@dataclass
+class OpStats:
+    """Book-keeping of the sparse operator calls a backend served."""
+
+    spmm_calls: int = 0
+    sddmm_calls: int = 0
+    edge_softmax_calls: int = 0
+
+
+@dataclass
+class SparseBackend:
+    """Sparse kernels + cost model for one graph and one backend flavour."""
+
+    name: str
+    adjacency: CSRMatrix
+    precision: Precision
+    #: cost function handles resolved by :func:`make_backend`
+    _spmm_cost: callable = field(repr=False, default=None)
+    _sddmm_cost: callable = field(repr=False, default=None)
+    _spmm_profile: KernelProfile = field(repr=False, default=None)
+    _sddmm_profile: KernelProfile = field(repr=False, default=None)
+    stats: OpStats = field(default_factory=OpStats)
+
+    def __post_init__(self) -> None:
+        csr = self.adjacency.to_scipy().astype(np.float32)
+        csr.sort_indices()
+        self._csr = csr
+        self._csr_t = csr.T.tocsr()
+        self._rows = np.repeat(
+            np.arange(self.adjacency.n_rows, dtype=np.int64),
+            np.diff(self.adjacency.indptr).astype(np.int64),
+        )
+        self._cols = self.adjacency.indices.astype(np.int64)
+
+    # ----------------------------------------------------------- numerics
+    def _quantize(self, array: np.ndarray) -> np.ndarray:
+        return quantize(array, self.precision).astype(np.float32)
+
+    def _matrix_with(self, values: np.ndarray | None) -> sp.csr_matrix:
+        if values is None:
+            return self._csr
+        matrix = self._csr.copy()
+        matrix.data = np.asarray(values, dtype=np.float32)
+        return matrix
+
+    def spmm_forward(self, values: np.ndarray | None, dense: np.ndarray) -> np.ndarray:
+        """Forward SpMM: ``A(values) @ dense`` with precision emulation."""
+        self.stats.spmm_calls += 1
+        matrix = self._matrix_with(None if values is None else self._quantize(values))
+        return np.asarray(matrix @ self._quantize(dense), dtype=np.float32)
+
+    def spmm_backward(
+        self, values: np.ndarray | None, dense: np.ndarray, grad_out: np.ndarray
+    ) -> tuple[np.ndarray | None, np.ndarray]:
+        """Backward SpMM: gradients w.r.t. the edge values and the dense input."""
+        self.stats.spmm_calls += 1  # the transposed SpMM of the backward pass
+        grad_out_q = self._quantize(grad_out)
+        if values is None:
+            matrix_t = self._csr_t
+        else:
+            matrix_t = self._matrix_with(self._quantize(values)).T.tocsr()
+        grad_dense = np.asarray(matrix_t @ grad_out_q, dtype=np.float32)
+        grad_values = None
+        if values is not None:
+            # dL/dvalue_e = <grad_out[row_e], dense[col_e]> — an SDDMM.
+            self.stats.sddmm_calls += 1
+            dense_q = self._quantize(dense)
+            grad_values = np.einsum(
+                "ij,ij->i", grad_out_q[self._rows], dense_q[self._cols]
+            ).astype(np.float32)
+        return grad_values, grad_dense
+
+    def sddmm_forward(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Forward SDDMM: one dot product per stored edge (CSR order)."""
+        self.stats.sddmm_calls += 1
+        a_q = self._quantize(a)
+        b_q = self._quantize(b)
+        return np.einsum("ij,ij->i", a_q[self._rows], b_q[self._cols]).astype(np.float32)
+
+    def sddmm_backward(
+        self, a: np.ndarray, b: np.ndarray, grad_edges: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Backward SDDMM: scatter the per-edge gradients into both inputs."""
+        self.stats.spmm_calls += 2  # two SpMM-shaped scatters
+        grad = np.asarray(grad_edges, dtype=np.float32)
+        weighted = self._matrix_with(grad)
+        grad_a = np.asarray(weighted @ self._quantize(b), dtype=np.float32)
+        grad_b = np.asarray(weighted.T.tocsr() @ self._quantize(a), dtype=np.float32)
+        return grad_a, grad_b
+
+    def edge_softmax_forward(self, logits: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Row-wise softmax over edge values; returns (softmax, cache)."""
+        self.stats.edge_softmax_calls += 1
+        logits = np.asarray(logits, dtype=np.float64)
+        indptr = self.adjacency.indptr
+        out = np.zeros_like(logits, dtype=np.float64)
+        for r in range(self.adjacency.n_rows):
+            lo, hi = int(indptr[r]), int(indptr[r + 1])
+            if lo == hi:
+                continue
+            seg = logits[lo:hi]
+            seg = seg - seg.max()
+            e = np.exp(seg)
+            out[lo:hi] = e / e.sum()
+        out32 = out.astype(np.float32)
+        return out32, out32
+
+    def edge_softmax_backward(self, softmax: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        """Backward of the row-wise softmax."""
+        indptr = self.adjacency.indptr
+        grad = np.zeros_like(softmax, dtype=np.float32)
+        for r in range(self.adjacency.n_rows):
+            lo, hi = int(indptr[r]), int(indptr[r + 1])
+            if lo == hi:
+                continue
+            s = softmax[lo:hi]
+            g = grad_out[lo:hi]
+            grad[lo:hi] = s * (g - float((g * s).sum()))
+        return grad
+
+    # --------------------------------------------------------- cost model
+    def spmm_time(self, n_dense: int, device: GPUSpec) -> float:
+        """Estimated time of one SpMM call with an ``n_dense``-wide operand."""
+        counter = self._spmm_cost(self.adjacency, n_dense)
+        return estimate_time(counter, device, self._spmm_profile).total_time_s
+
+    def sddmm_time(self, k_dense: int, device: GPUSpec) -> float:
+        """Estimated time of one SDDMM call over a ``k_dense`` feature dim."""
+        if self._sddmm_cost is None:
+            # Backends without a dedicated SDDMM fall back to an SpMM-shaped cost.
+            return self.spmm_time(k_dense, device)
+        counter = self._sddmm_cost(self.adjacency, k_dense)
+        return estimate_time(counter, device, self._sddmm_profile).total_time_s
+
+    @property
+    def framework_overhead_us(self) -> float:
+        """Per-kernel framework dispatch overhead (already inside the profiles)."""
+        return self._spmm_profile.extra_launch_us
+
+
+def make_backend(name: str, adjacency: CSRMatrix) -> SparseBackend:
+    """Build a :class:`SparseBackend` for one of :data:`BACKEND_NAMES`."""
+    key = name.strip().lower()
+    if key in ("flashsparse-fp16", "flashsparse", "fp16"):
+        config = FlashSparseConfig(precision=Precision.FP16)
+        return SparseBackend(
+            name="FlashSparse-FP16",
+            adjacency=adjacency,
+            precision=Precision.FP16,
+            _spmm_cost=lambda m, n: spmm_flash_cost(m, n, config),
+            _sddmm_cost=lambda m, k: sddmm_flash_cost(m, k, config),
+            _spmm_profile=FLASH_SPMM_PROFILE,
+            _sddmm_profile=FLASH_SDDMM_PROFILE,
+        )
+    if key in ("flashsparse-tf32", "tf32"):
+        config = FlashSparseConfig(precision=Precision.TF32)
+        return SparseBackend(
+            name="FlashSparse-TF32",
+            adjacency=adjacency,
+            precision=Precision.TF32,
+            _spmm_cost=lambda m, n: spmm_flash_cost(m, n, config),
+            _sddmm_cost=lambda m, k: sddmm_flash_cost(m, k, config),
+            _spmm_profile=FLASH_SPMM_PROFILE,
+            _sddmm_profile=FLASH_SDDMM_PROFILE,
+        )
+    if key in ("dgl", "pyg"):
+        baseline = get_baseline("DGL" if key == "dgl" else "PyG")
+        return SparseBackend(
+            name=baseline.name,
+            adjacency=adjacency,
+            precision=Precision.FP32,
+            _spmm_cost=baseline.spmm_cost,
+            _sddmm_cost=baseline.sddmm_cost,
+            _spmm_profile=baseline.profile,
+            _sddmm_profile=baseline.profile,
+        )
+    if key in ("tcgnn", "tc-gnn"):
+        baseline = get_baseline("TC-GNN")
+        return SparseBackend(
+            name=baseline.name,
+            adjacency=adjacency,
+            precision=Precision.TF32,
+            _spmm_cost=baseline.spmm_cost,
+            _sddmm_cost=baseline.sddmm_cost,
+            _spmm_profile=baseline.profile,
+            _sddmm_profile=baseline.profile,
+        )
+    raise KeyError(f"unknown backend {name!r}; available: {BACKEND_NAMES}")

@@ -1,0 +1,136 @@
+"""End-to-end GNN epoch-time estimation (Figure 16).
+
+The paper's end-to-end time covers format translation, forward and backward
+propagation and the weight update.  The sparse operators (SpMM, SDDMM) are
+the part that differs between FlashSparse and the framework baselines; the
+dense feature updates, softmax/loss and optimiser work are common to all
+backends.  This module assembles a per-epoch estimate from:
+
+* the backend's sparse-kernel cost models (one call per sparse op occurrence
+  in forward + backward),
+* a dense-GEMM term evaluated with the device's peak throughput at the
+  backend's precision,
+* per-kernel-launch framework overheads (already part of the profiles), a
+  shared per-epoch host-side overhead every backend pays identically, and
+* the one-off preprocessing (format translation) amortised over the epochs,
+  which the paper reports to be <1 % of end-to-end time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.formats.csr import CSRMatrix
+from repro.gnn.backends import SparseBackend, make_backend
+from repro.gpu.device import GPUSpec
+from repro.precision.types import Precision
+
+
+@dataclass
+class EndToEndEstimate:
+    """Breakdown of one estimated training epoch."""
+
+    backend: str
+    model: str
+    device: str
+    sparse_time_s: float
+    dense_time_s: float
+    overhead_time_s: float
+    preprocessing_time_s: float
+
+    @property
+    def total_time_s(self) -> float:
+        """Total estimated epoch time."""
+        return self.sparse_time_s + self.dense_time_s + self.overhead_time_s + self.preprocessing_time_s
+
+
+def _dense_flops_gcn(n_nodes: int, in_dim: int, hidden: int, out_dim: int, layers: int) -> float:
+    """Dense FLOPs of one GCN forward+backward (feature updates H·W)."""
+    dims = [in_dim] + [hidden] * (layers - 1) + [out_dim]
+    forward = sum(2.0 * n_nodes * dims[i] * dims[i + 1] for i in range(layers))
+    return 3.0 * forward  # backward costs roughly 2x the forward GEMMs
+
+
+def _dense_flops_agnn(n_nodes: int, in_dim: int, hidden: int, out_dim: int, attention_layers: int) -> float:
+    """Dense FLOPs of one AGNN forward+backward (embedding + classifier + norms)."""
+    forward = 2.0 * n_nodes * (in_dim * hidden + hidden * out_dim)
+    norms = 4.0 * n_nodes * hidden * attention_layers
+    return 3.0 * (forward + norms)
+
+
+def _dense_peak(device: GPUSpec, precision: Precision) -> float:
+    """Dense-GEMM peak used for the feature-update term."""
+    if precision is Precision.FP32:
+        return device.cuda_fp32_flops * 0.7
+    return device.tcu_flops(precision.value) * 0.5
+
+
+def estimate_epoch_time(
+    model_kind: str,
+    adjacency: CSRMatrix,
+    backend: SparseBackend | str,
+    device: GPUSpec,
+    in_dim: int = 128,
+    hidden: int = 128,
+    out_dim: int = 16,
+    num_layers: int = 2,
+    epochs_amortized: int = 300,
+    shared_epoch_overhead_us: float = 300.0,
+) -> EndToEndEstimate:
+    """Estimate one training epoch of ``model_kind`` ("gcn" or "agnn").
+
+    Parameters mirror the paper's setup: hidden dimension 128 for GCN and 32
+    for AGNN (pass ``hidden=32``), 300 training epochs for amortising the
+    one-off ME-BCRS translation.
+    """
+    if isinstance(backend, str):
+        backend = make_backend(backend, adjacency)
+    model_kind = model_kind.strip().lower()
+    n_nodes = adjacency.n_rows
+
+    if model_kind == "gcn":
+        # One SpMM per layer forward, one transposed SpMM per layer backward.
+        spmm_calls = 2 * num_layers
+        sddmm_calls = 0
+        dense_flops = _dense_flops_gcn(n_nodes, in_dim, hidden, out_dim, num_layers)
+        sparse_width = hidden
+    elif model_kind == "agnn":
+        # Per attention layer: SDDMM + SpMM forward; SDDMM-shaped and two
+        # SpMM-shaped kernels backward (gradients w.r.t. values and features).
+        spmm_calls = 3 * num_layers
+        sddmm_calls = 2 * num_layers
+        dense_flops = _dense_flops_agnn(n_nodes, in_dim, hidden, out_dim, num_layers)
+        sparse_width = hidden
+    else:
+        raise ValueError("model_kind must be 'gcn' or 'agnn'")
+
+    spmm_time = backend.spmm_time(sparse_width, device)
+    sddmm_time = backend.sddmm_time(sparse_width, device) if sddmm_calls else 0.0
+    sparse_time = spmm_calls * spmm_time + sddmm_calls * sddmm_time
+
+    dense_time = dense_flops / _dense_peak(device, backend.precision)
+    # Softmax / loss / optimiser and activation kernels: a handful of
+    # elementwise passes over the feature matrices.
+    elementwise_bytes = 10.0 * n_nodes * hidden * 4
+    dense_time += elementwise_bytes / device.mem_bandwidth_bps
+
+    # Framework dispatch overhead beyond the kernels themselves, plus the
+    # per-epoch host-side work (data movement, loss, optimiser, Python glue)
+    # that every backend pays identically.
+    total_kernel_launches = spmm_calls + sddmm_calls + 4 * num_layers
+    overhead = total_kernel_launches * backend.framework_overhead_us * 1e-6
+    overhead += shared_epoch_overhead_us * 1e-6
+
+    # One-off CSR -> ME-BCRS (or SGT) translation, amortised over training.
+    translation_bytes = adjacency.nnz * 12
+    preprocessing = (translation_bytes / device.mem_bandwidth_bps) / max(1, epochs_amortized)
+
+    return EndToEndEstimate(
+        backend=backend.name,
+        model=model_kind,
+        device=device.name,
+        sparse_time_s=sparse_time,
+        dense_time_s=dense_time,
+        overhead_time_s=overhead,
+        preprocessing_time_s=preprocessing,
+    )

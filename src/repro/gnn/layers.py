@@ -1,0 +1,115 @@
+"""GNN layers: graph convolution (GCN) and attention aggregation (AGNN).
+
+The layers express exactly the operator mix the paper's case study uses
+(Section 4.4): GCN's feature aggregation is one SpMM per layer; AGNN first
+computes per-edge attention with an SDDMM, normalises it with an edge-wise
+softmax, and aggregates with an SpMM whose values are the attention weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn import autograd as ag
+from repro.gnn.autograd import Parameter, Tensor
+from repro.gnn.backends import SparseBackend
+from repro.utils.random import default_rng
+
+
+class Module:
+    """Minimal module base: parameter collection and train/eval mode."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters of the module (recursively)."""
+        params: list[Parameter] = []
+        for value in self.__dict__.values():
+            if isinstance(value, Parameter):
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+                    elif isinstance(item, Parameter):
+                        params.append(item)
+        return params
+
+    def train(self) -> None:
+        """Switch to training mode (enables dropout)."""
+        self.training = True
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                value.train()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item.train()
+
+    def eval(self) -> None:
+        """Switch to evaluation mode (disables dropout)."""
+        self.training = False
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                value.eval()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item.eval()
+
+
+class Linear(Module):
+    """Dense affine layer ``y = x W + b`` (Glorot-initialised)."""
+
+    def __init__(self, in_features: int, out_features: int, seed=None, bias: bool = True):
+        super().__init__()
+        rng = default_rng(seed)
+        bound = np.sqrt(6.0 / (in_features + out_features))
+        self.weight = Parameter(rng.uniform(-bound, bound, size=(in_features, out_features)), name="W")
+        self.bias = Parameter(np.zeros(out_features), name="b") if bias else None
+
+    def __call__(self, x: Tensor) -> Tensor:
+        out = ag.matmul(x, self.weight)
+        if self.bias is not None:
+            out = ag.add(out, self.bias)
+        return out
+
+
+class GCNLayer(Module):
+    """One graph-convolution layer: ``H' = Â (H W) + b``.
+
+    ``Â`` is the (symmetrically normalised) adjacency held by the backend;
+    the aggregation is the SpMM the paper accelerates.
+    """
+
+    def __init__(self, in_features: int, out_features: int, seed=None):
+        super().__init__()
+        self.linear = Linear(in_features, out_features, seed=seed)
+
+    def __call__(self, backend: SparseBackend, h: Tensor) -> Tensor:
+        support = self.linear(h)
+        return ag.spmm(backend, None, support)
+
+
+class AGNNLayer(Module):
+    """One attention-based aggregation layer (AGNN, Thekumparampil et al.).
+
+    Per edge ``(i, j)`` the attention logit is ``beta * cos(h_i, h_j)``
+    (an SDDMM over row-normalised features), normalised with a per-row
+    softmax, and the new features are the attention-weighted neighbour sum
+    (an SpMM whose edge values are the attention coefficients).
+    """
+
+    def __init__(self, init_beta: float = 1.0):
+        super().__init__()
+        self.beta = Parameter(np.array([init_beta], dtype=np.float32), name="beta")
+
+    def __call__(self, backend: SparseBackend, h: Tensor) -> Tensor:
+        h_norm = ag.row_l2_normalize(h)
+        cos = ag.sddmm(backend, h_norm, h_norm)
+        logits = ag.mul(cos, self.beta)
+        attention = ag.edge_softmax(backend, logits)
+        return ag.spmm(backend, attention, h)

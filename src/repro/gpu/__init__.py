@@ -1,0 +1,68 @@
+"""GPU / Tensor Core simulator substrate.
+
+The paper's kernels are CUDA kernels issuing warp-level ``mma`` instructions
+and coalesced global-memory loads.  This subpackage models exactly the pieces
+of the hardware that FlashSparse's design reasons about:
+
+* :mod:`repro.gpu.device` — device descriptions (H100 PCIe, RTX 4090) with
+  the peak rates and memory bandwidths the performance model needs.
+* :mod:`repro.gpu.mma` — the semantics and the per-thread register fragment
+  layouts of the MMA / WMMA operand shapes used by FlashSparse and the
+  baselines (``m16n8k8``/``m16n8k16`` FP16, ``m16n8k4``/``m16n8k8`` TF32 and
+  WMMA ``m16n16k8`` TF32).
+* :mod:`repro.gpu.memory` — a transaction-level model of global-memory
+  coalescing (32/64/128-byte transactions) used to evaluate the
+  memory-efficient thread mapping of Section 3.3.
+* :mod:`repro.gpu.counters` — cost counters accumulated by every simulated
+  kernel and consumed by :mod:`repro.perfmodel`.
+"""
+
+from repro.gpu.counters import CostCounter
+from repro.gpu.device import GPUSpec, H100_PCIE, RTX4090, WARP_SIZE, get_device
+from repro.gpu.mma import (
+    MMAShape,
+    MMA_M16N8K8_FP16,
+    MMA_M16N8K16_FP16,
+    MMA_M16N8K4_TF32,
+    MMA_M16N8K8_TF32,
+    WMMA_M16N16K8_TF32,
+    mma_execute,
+    FragmentLayout,
+    layout_a,
+    layout_b,
+    layout_c,
+    distribute_fragment,
+    gather_fragment,
+)
+from repro.gpu.memory import (
+    MemoryTransactionModel,
+    WarpAccess,
+    simulate_warp_load,
+    transactions_for_tile_load,
+)
+
+__all__ = [
+    "CostCounter",
+    "GPUSpec",
+    "H100_PCIE",
+    "RTX4090",
+    "WARP_SIZE",
+    "get_device",
+    "MMAShape",
+    "MMA_M16N8K8_FP16",
+    "MMA_M16N8K16_FP16",
+    "MMA_M16N8K4_TF32",
+    "MMA_M16N8K8_TF32",
+    "WMMA_M16N16K8_TF32",
+    "mma_execute",
+    "FragmentLayout",
+    "layout_a",
+    "layout_b",
+    "layout_c",
+    "distribute_fragment",
+    "gather_fragment",
+    "MemoryTransactionModel",
+    "WarpAccess",
+    "simulate_warp_load",
+    "transactions_for_tile_load",
+]

@@ -1,0 +1,67 @@
+"""Simulated FlashSparse kernels (SpMM / SDDMM) and the 16×1 TCU baselines.
+
+Each kernel has two entry points:
+
+* an ``execute`` function that produces the numeric result *and* the cost
+  counter by walking the TC-block structure exactly the way the CUDA kernel
+  would (used by tests, examples and GNN training);
+* an ``estimate_cost`` function that produces the same cost counter directly
+  from the format's block structure without touching the values (used by the
+  per-matrix benchmark sweeps, where only costs are needed).
+
+The two are cross-checked by tests on small matrices.
+"""
+
+from repro.kernels.common import (
+    FlashSparseConfig,
+    SpmmKernelResult,
+    SddmmKernelResult,
+)
+from repro.kernels.thread_mapping import (
+    ThreadMapping,
+    direct_mapping,
+    coalesced_mapping,
+    b_tile_transactions,
+)
+from repro.kernels.spmm_flash import (
+    spmm_flash_execute,
+    spmm_flash_cost,
+    FLASH_SPMM_PROFILE,
+)
+from repro.kernels.sddmm_flash import (
+    sddmm_flash_execute,
+    sddmm_flash_cost,
+    FLASH_SDDMM_PROFILE,
+)
+from repro.kernels.spmm_tcu16 import (
+    spmm_tcu16_execute,
+    spmm_tcu16_cost,
+    TCU16_SPMM_PROFILE,
+)
+from repro.kernels.sddmm_tcu16 import (
+    sddmm_tcu16_execute,
+    sddmm_tcu16_cost,
+    TCU16_SDDMM_PROFILE,
+)
+
+__all__ = [
+    "FlashSparseConfig",
+    "SpmmKernelResult",
+    "SddmmKernelResult",
+    "ThreadMapping",
+    "direct_mapping",
+    "coalesced_mapping",
+    "b_tile_transactions",
+    "spmm_flash_execute",
+    "spmm_flash_cost",
+    "FLASH_SPMM_PROFILE",
+    "sddmm_flash_execute",
+    "sddmm_flash_cost",
+    "FLASH_SDDMM_PROFILE",
+    "spmm_tcu16_execute",
+    "spmm_tcu16_cost",
+    "TCU16_SPMM_PROFILE",
+    "sddmm_tcu16_execute",
+    "sddmm_tcu16_cost",
+    "TCU16_SDDMM_PROFILE",
+]

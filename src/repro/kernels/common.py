@@ -1,0 +1,83 @@
+"""Shared kernel configuration and result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.formats.blocked import BlockedVectorFormat
+from repro.gpu.counters import CostCounter
+from repro.precision.types import Precision
+
+
+@dataclass(frozen=True)
+class FlashSparseConfig:
+    """Configuration of a FlashSparse (or 16×1 baseline) kernel invocation.
+
+    Attributes
+    ----------
+    precision:
+        Tensor-core precision (``fp16`` or ``tf32``).
+    coalesced:
+        Use the memory-efficient thread mapping of Section 3.3 (Figure 7c).
+        ``False`` selects the direct mapping (Figure 7b) — the ablation mode
+        of Figure 15.
+    swap_and_transpose:
+        Use the 8×1 swap-and-transpose strategy.  ``False`` selects the 16×1
+        vector granularity (the ablation baseline of Figure 14).
+    """
+
+    precision: Precision = Precision.FP16
+    coalesced: bool = True
+    swap_and_transpose: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "precision", Precision(self.precision))
+        if self.precision is Precision.FP32:
+            raise ValueError(
+                "tensor-core kernels support fp16/tf32 only; "
+                "use the CUDA-core baselines for fp32"
+            )
+
+    @property
+    def vector_size(self) -> int:
+        """Nonzero-vector granularity implied by the strategy."""
+        return 8 if self.swap_and_transpose else 16
+
+
+@dataclass
+class SpmmKernelResult:
+    """Output of a simulated SpMM kernel."""
+
+    #: Dense output matrix C = A @ B, shape (M, N), float32.
+    values: np.ndarray
+    #: Hardware cost the kernel would incur.
+    counter: CostCounter
+    #: Name of the kernel that produced the result.
+    kernel: str
+    #: Useful FLOPs of the operation (2 * nnz * N).
+    useful_flops: int
+    #: Extra metadata (precision, mapping, vector size, ...).
+    meta: dict = field(default_factory=dict)
+
+
+@dataclass
+class SddmmKernelResult:
+    """Output of a simulated SDDMM kernel."""
+
+    #: Sparse output in the same blocked format as the input mask (values
+    #: replaced by the sampled dot products).
+    output: BlockedVectorFormat
+    #: Hardware cost the kernel would incur.
+    counter: CostCounter
+    #: Name of the kernel that produced the result.
+    kernel: str
+    #: Useful FLOPs of the operation (2 * nnz * K).
+    useful_flops: int
+    #: Extra metadata.
+    meta: dict = field(default_factory=dict)
+
+    def to_csr(self):
+        """The sparse output as a CSR matrix."""
+        return self.output.to_csr()

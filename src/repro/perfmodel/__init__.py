@@ -1,0 +1,32 @@
+"""Analytic performance model for the simulated kernels.
+
+Since no GPU is available, kernel runtimes are estimated from the exact costs
+counted by the simulator (MMA invocations, CUDA-core FMAs, memory
+transactions, index work) combined with device peak rates, using a
+roofline-style model.  See :mod:`repro.perfmodel.model` for the model
+definition and DESIGN.md for what the model is (and is not) expected to
+reproduce.
+"""
+
+from repro.perfmodel.model import (
+    KernelProfile,
+    TimeEstimate,
+    PerformanceModel,
+    estimate_time,
+    gflops,
+    spmm_useful_flops,
+    sddmm_useful_flops,
+)
+from repro.perfmodel.summary import geometric_mean, speedup_distribution
+
+__all__ = [
+    "KernelProfile",
+    "TimeEstimate",
+    "PerformanceModel",
+    "estimate_time",
+    "gflops",
+    "spmm_useful_flops",
+    "sddmm_useful_flops",
+    "geometric_mean",
+    "speedup_distribution",
+]

@@ -1,0 +1,199 @@
+"""Roofline-style kernel-time estimation.
+
+The model converts a :class:`~repro.gpu.counters.CostCounter` into an
+estimated kernel time on a :class:`~repro.gpu.device.GPUSpec`:
+
+``time = launch_overhead + max(compute_time, memory_time)``
+
+where
+
+* ``compute_time`` is the sum of the tensor-core term (MMA FLOPs at the
+  device's TCU peak for the MMA's precision, scaled by an achievable-
+  efficiency factor, plus a fixed per-MMA issue cost) and the CUDA-core term
+  (scalar FMAs plus auxiliary index work at the FP32 peak);
+* ``memory_time`` is a two-level term: the kernel's *unique* data footprint
+  must stream from DRAM at the device bandwidth, while the total traffic
+  (transaction bytes when counted, otherwise the logical data-access bytes)
+  must flow through the L2 cache at the L2 bandwidth — the memory time is the
+  larger of the two, each scaled by an achievable-efficiency factor.  This is
+  what lets the gathered rows of the dense matrix B (which largely stay
+  resident in L2 across row windows) be re-read cheaply, as on real GPUs.
+
+Per-kernel :class:`KernelProfile` objects supply the efficiency factors and
+overhead weights; FlashSparse and each baseline declare their own profile so
+known inefficiencies (e.g. TC-GNN's per-element position checks, Sputnik's
+load imbalance on skewed rows) are represented explicitly rather than hidden
+in magic constants.
+
+The model intentionally stays simple: the reproduction target is the *shape*
+of the paper's comparisons (who wins, by roughly what factor, where the
+crossovers are), which is driven by the counted redundancy, not by absolute
+GFLOPS figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.counters import CostCounter
+from repro.gpu.device import GPUSpec
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Achievable-efficiency description of one kernel implementation."""
+
+    name: str
+    #: Fraction of the TCU peak the kernel can sustain when compute bound.
+    tcu_efficiency: float = 0.30
+    #: Fraction of the CUDA-core FP32 peak sustained when compute bound.
+    cuda_efficiency: float = 0.50
+    #: Fraction of the peak memory bandwidth sustained when memory bound.
+    memory_efficiency: float = 0.65
+    #: Fraction of the peak L2 bandwidth sustained for cache-resident re-reads.
+    l2_efficiency: float = 0.60
+    #: Whether the kernel's access pattern benefits from L2 residency at all;
+    #: when False, all counted traffic is charged at DRAM rate (models kernels
+    #: with cache-hostile access patterns, e.g. TC-GNN's SGT walks).
+    l2_friendly: bool = True
+    #: Fixed cost per MMA invocation in nanoseconds (issue + operand staging).
+    mma_issue_ns: float = 1.2
+    #: CUDA-core-equivalent FLOPs charged per auxiliary index operation.
+    index_op_weight: float = 2.0
+    #: Multiplicative load-imbalance penalty (>= 1) applied to compute time.
+    imbalance_factor: float = 1.0
+    #: Extra fixed overhead per kernel launch (microseconds) beyond the device's.
+    extra_launch_us: float = 0.0
+    notes: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        for attr in ("tcu_efficiency", "cuda_efficiency", "memory_efficiency", "l2_efficiency"):
+            value = getattr(self, attr)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{attr} must be in (0, 1], got {value}")
+        if self.imbalance_factor < 1.0:
+            raise ValueError("imbalance_factor must be >= 1")
+
+
+#: Profile used when a kernel does not declare one.
+DEFAULT_PROFILE = KernelProfile(name="default")
+
+
+@dataclass(frozen=True)
+class TimeEstimate:
+    """Breakdown of one estimated kernel execution."""
+
+    kernel: str
+    device: str
+    tcu_time_s: float
+    cuda_time_s: float
+    memory_time_s: float
+    launch_time_s: float
+    total_time_s: float
+
+    @property
+    def bound(self) -> str:
+        """Which roofline term dominates: ``"compute"`` or ``"memory"``."""
+        compute = self.tcu_time_s + self.cuda_time_s
+        return "compute" if compute >= self.memory_time_s else "memory"
+
+
+#: FLOPs of one MMA per shape name (m*n*k*2); parsed lazily from the name.
+def _shape_flops(shape_name: str) -> int:
+    from repro.gpu.counters import _parse_shape_name
+
+    m, n, k = _parse_shape_name(shape_name)
+    return 2 * m * n * k
+
+
+class PerformanceModel:
+    """Estimates kernel times on a target device from cost counters."""
+
+    def __init__(self, device: GPUSpec):
+        self.device = device
+
+    def estimate(self, counter: CostCounter, profile: KernelProfile | None = None) -> TimeEstimate:
+        """Estimate the execution time represented by ``counter``."""
+        profile = profile or DEFAULT_PROFILE
+        device = self.device
+
+        # --- tensor-core term -------------------------------------------------
+        tcu_time = 0.0
+        total_mma = 0
+        for (shape_name, precision), count in counter.mma_invocations.items():
+            flops = _shape_flops(shape_name) * count
+            peak = device.tcu_flops(precision) * profile.tcu_efficiency
+            tcu_time += flops / peak
+            total_mma += count
+        # Fixed per-MMA issue cost, amortised over the device's TCU count
+        # (each TCU issues MMAs independently).
+        if total_mma:
+            parallel_tcus = max(1, device.tensor_core_count)
+            tcu_time += (total_mma * profile.mma_issue_ns * 1e-9) / parallel_tcus
+
+        # --- CUDA-core term ---------------------------------------------------
+        cuda_flops = 2.0 * counter.cuda_fma + profile.index_op_weight * counter.index_ops
+        cuda_time = 0.0
+        if cuda_flops:
+            cuda_time = cuda_flops / (device.cuda_fp32_flops * profile.cuda_efficiency)
+
+        compute_time = (tcu_time + cuda_time) * profile.imbalance_factor
+
+        # --- memory term ------------------------------------------------------
+        transaction_bytes = counter.transaction_bytes_moved
+        bytes_moved = transaction_bytes if transaction_bytes else counter.data_access_bytes
+        footprint = counter.footprint_bytes
+        if profile.l2_friendly and 0 < footprint <= bytes_moved:
+            # Two-level roofline: unique data streams from DRAM once, the full
+            # traffic (re-reads included) flows through L2.
+            dram_time = footprint / (device.mem_bandwidth_bps * profile.memory_efficiency)
+            l2_time = bytes_moved / (device.l2_bandwidth_bps * profile.l2_efficiency)
+            memory_time = max(dram_time, l2_time)
+        else:
+            memory_time = bytes_moved / (device.mem_bandwidth_bps * profile.memory_efficiency)
+
+        # --- occupancy: tiny launches cannot saturate the device ---------------
+        if counter.warps_launched:
+            saturation_warps = device.sm_count * 8
+            occupancy = min(1.0, counter.warps_launched / saturation_warps)
+            if occupancy < 1.0:
+                scale = 1.0 / max(occupancy, 1.0 / saturation_warps)
+                compute_time *= scale
+                memory_time *= scale
+
+        launch = (device.kernel_launch_overhead_us + profile.extra_launch_us) * 1e-6
+        launch *= max(1, counter.kernel_launches)
+        total = launch + max(compute_time, memory_time)
+        return TimeEstimate(
+            kernel=profile.name,
+            device=device.name,
+            tcu_time_s=tcu_time,
+            cuda_time_s=cuda_time,
+            memory_time_s=memory_time,
+            launch_time_s=launch,
+            total_time_s=total,
+        )
+
+
+def estimate_time(
+    counter: CostCounter, device: GPUSpec, profile: KernelProfile | None = None
+) -> TimeEstimate:
+    """Convenience wrapper around :class:`PerformanceModel`."""
+    return PerformanceModel(device).estimate(counter, profile)
+
+
+def spmm_useful_flops(nnz: int, n_dense: int) -> int:
+    """Useful FLOPs of an SpMM: one multiply-add per nonzero per dense column."""
+    return 2 * int(nnz) * int(n_dense)
+
+
+def sddmm_useful_flops(nnz: int, k_dense: int) -> int:
+    """Useful FLOPs of an SDDMM: a K-length dot product per output nonzero."""
+    return 2 * int(nnz) * int(k_dense)
+
+
+def gflops(useful_flops: int, time_s: float) -> float:
+    """Throughput in GFLOP/s given useful work and a time estimate."""
+    if time_s <= 0:
+        raise ValueError("time must be positive")
+    return useful_flops / time_s / 1e9

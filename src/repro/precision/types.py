@@ -1,0 +1,94 @@
+"""Precision types and quantisation helpers."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+
+class Precision(str, Enum):
+    """Numeric precisions supported by the simulated kernels.
+
+    ``FP32`` is the CUDA-core baseline precision; ``TF32`` and ``FP16`` are
+    the tensor-core precisions used by FlashSparse (Table 3 of the paper).
+    """
+
+    FP32 = "fp32"
+    TF32 = "tf32"
+    FP16 = "fp16"
+
+    @property
+    def input_bytes(self) -> int:
+        """Bytes per input element stored in memory."""
+        return element_bytes(self)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Number of explicit mantissa bits kept by TF32 (same as FP16).
+_TF32_MANTISSA_BITS = 10
+#: FP32 has 23 explicit mantissa bits; TF32 keeps the top 10.
+_TF32_DROP_BITS = 23 - _TF32_MANTISSA_BITS
+
+
+def quantize_tf32(x: np.ndarray) -> np.ndarray:
+    """Quantize an array to TF32 (round-to-nearest-even on the mantissa).
+
+    TF32 keeps the 8-bit FP32 exponent but only 10 mantissa bits.  The
+    emulation reinterprets the FP32 bit pattern, rounds the mantissa to the
+    nearest representable value and returns FP32 data holding TF32 values.
+    """
+    x32 = np.asarray(x, dtype=np.float32)
+    bits = x32.view(np.uint32).copy()
+    # round-to-nearest-even on the dropped bits
+    drop = np.uint32(_TF32_DROP_BITS)
+    half = np.uint32(1 << (_TF32_DROP_BITS - 1))
+    low = bits & np.uint32((1 << _TF32_DROP_BITS) - 1)
+    bits &= np.uint32(~((1 << _TF32_DROP_BITS) - 1) & 0xFFFFFFFF)
+    lsb = (bits >> drop) & np.uint32(1)
+    round_up = (low > half) | ((low == half) & (lsb == 1))
+    # Do not round NaN/Inf payloads.
+    exponent = (bits >> np.uint32(23)) & np.uint32(0xFF)
+    finite = exponent != np.uint32(0xFF)
+    bits = np.where(round_up & finite, bits + (np.uint32(1) << drop), bits)
+    return bits.view(np.float32).reshape(x32.shape)
+
+
+def quantize(x: np.ndarray, precision: Precision | str) -> np.ndarray:
+    """Quantize ``x`` to ``precision`` and return it as float32/float64 data.
+
+    The returned dtype is ``float32`` for all precisions (the values are
+    representable there), so downstream arithmetic happens at FP32 just like
+    tensor-core accumulation.
+    """
+    precision = Precision(precision)
+    if precision is Precision.FP32:
+        return np.asarray(x, dtype=np.float32)
+    if precision is Precision.FP16:
+        with np.errstate(over="ignore"):
+            return np.asarray(x, dtype=np.float16).astype(np.float32)
+    if precision is Precision.TF32:
+        return quantize_tf32(x)
+    raise ValueError(f"unsupported precision {precision!r}")  # pragma: no cover
+
+
+def dtype_for(precision: Precision | str) -> np.dtype:
+    """Storage dtype for inputs at ``precision``."""
+    precision = Precision(precision)
+    if precision is Precision.FP16:
+        return np.dtype(np.float16)
+    # TF32 values are stored in 32-bit containers.
+    return np.dtype(np.float32)
+
+
+def element_bytes(precision: Precision | str) -> int:
+    """Bytes per element as stored in global memory."""
+    return int(dtype_for(precision).itemsize)
+
+
+def accumulate_dtype(precision: Precision | str) -> np.dtype:
+    """Accumulator dtype: FP32 for every tensor-core precision."""
+    del precision
+    return np.dtype(np.float32)

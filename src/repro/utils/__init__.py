@@ -1,0 +1,13 @@
+"""Small shared utilities (seeding, validation, text tables)."""
+
+from repro.utils.random import default_rng, seed_everything
+from repro.utils.tables import format_table
+from repro.utils.validation import check_dense_matrix, check_positive_int
+
+__all__ = [
+    "default_rng",
+    "seed_everything",
+    "format_table",
+    "check_dense_matrix",
+    "check_positive_int",
+]

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.formats.csr import CSRMatrix
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+def random_csr(
+    n_rows: int,
+    n_cols: int,
+    density: float,
+    seed: int = 0,
+    ensure_nonempty: bool = True,
+) -> CSRMatrix:
+    """Random CSR matrix helper used across test modules."""
+    matrix = sp.random(n_rows, n_cols, density=density, format="csr", random_state=seed)
+    matrix.data = np.abs(matrix.data) + 0.1  # keep values away from zero
+    csr = CSRMatrix.from_scipy(matrix)
+    if ensure_nonempty and csr.nnz == 0:
+        dense = np.zeros((n_rows, n_cols), dtype=np.float32)
+        dense[0, 0] = 1.0
+        csr = CSRMatrix.from_dense(dense)
+    return csr
+
+
+@pytest.fixture
+def small_csr() -> CSRMatrix:
+    """A 40x36 sparse matrix with ~8% density."""
+    return random_csr(40, 36, 0.08, seed=3)
+
+
+@pytest.fixture
+def medium_csr() -> CSRMatrix:
+    """A 200x180 sparse matrix with ~4% density."""
+    return random_csr(200, 180, 0.04, seed=7)
+
+
+@pytest.fixture
+def skewed_csr() -> CSRMatrix:
+    """A matrix with a few very long rows (load-imbalance regime)."""
+    rng = np.random.default_rng(11)
+    rows = []
+    cols = []
+    n = 128
+    for r in range(n):
+        length = 64 if r % 37 == 0 else rng.integers(1, 5)
+        rows.extend([r] * int(length))
+        cols.extend(rng.integers(0, n, size=int(length)).tolist())
+    return CSRMatrix.from_coo(np.array(rows), np.array(cols), None, (n, n))

@@ -1,0 +1,122 @@
+"""Tests for row-window / nonzero-vector partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.formats.csr import CSRMatrix
+from repro.formats.windows import partition_windows
+
+from conftest import random_csr
+
+
+def dense_reference_partition(dense: np.ndarray, vector_size: int):
+    """Brute-force reference: nonzero vectors per window from the dense matrix."""
+    n_rows, n_cols = dense.shape
+    num_windows = -(-n_rows // vector_size)
+    vectors = []
+    for w in range(num_windows):
+        block = dense[w * vector_size : (w + 1) * vector_size]
+        cols = np.nonzero((block != 0).any(axis=0))[0]
+        vectors.append(cols)
+    return vectors
+
+
+@pytest.mark.parametrize("vector_size", [8, 16])
+def test_partition_matches_dense_reference(small_csr, vector_size):
+    part = partition_windows(small_csr, vector_size)
+    reference = dense_reference_partition(small_csr.to_dense(), vector_size)
+    assert part.num_windows == len(reference)
+    for w, cols in enumerate(reference):
+        np.testing.assert_array_equal(part.window_columns(w), cols)
+
+
+@pytest.mark.parametrize("vector_size", [8, 16])
+def test_vector_counts_and_zero_fill(medium_csr, vector_size):
+    part = partition_windows(medium_csr, vector_size)
+    assert part.num_nonzero_vectors == part.vectors_per_window.sum()
+    assert part.zero_fill == part.num_nonzero_vectors * vector_size - medium_csr.nnz
+    assert part.zero_fill >= 0
+    assert part.nnz == medium_csr.nnz
+
+
+def test_smaller_vector_size_never_increases_zero_fill(medium_csr):
+    """The motivation of Table 2: 8x1 stores no more zeros than 16x1."""
+    fill8 = partition_windows(medium_csr, 8).zero_fill
+    fill16 = partition_windows(medium_csr, 16).zero_fill
+    assert fill8 <= fill16
+
+
+def test_nnz_vector_of_entry_maps_each_nonzero_to_its_vector(small_csr):
+    part = partition_windows(small_csr, 8)
+    rows = np.repeat(np.arange(small_csr.n_rows), np.diff(small_csr.indptr).astype(int))
+    cols = small_csr.indices
+    for e in range(small_csr.nnz):
+        vec = int(part.nnz_vector_of_entry[e])
+        # The vector's column must equal the entry's column and its window must
+        # contain the entry's row.
+        assert part.vector_cols[vec] == cols[e]
+        window = np.searchsorted(part.window_ptr, vec, side="right") - 1
+        assert window == rows[e] // 8
+
+
+def test_tc_block_counts(small_csr):
+    part = partition_windows(small_csr, 8)
+    for k in (4, 8):
+        per_window = part.tc_blocks_per_window(k)
+        expected = np.ceil(part.vectors_per_window / k).astype(int)
+        np.testing.assert_array_equal(per_window, expected)
+        assert part.num_tc_blocks(k) == expected.sum()
+
+
+def test_padded_vectors(small_csr):
+    part = partition_windows(small_csr, 8)
+    for k in (4, 8):
+        pads = part.padded_vectors(k)
+        assert pads == int((part.tc_blocks_per_window(k) * k - part.vectors_per_window).sum())
+        assert 0 <= pads <= part.num_tc_blocks(k) * (k - 1)
+
+
+def test_window_row_range_clips_last_window():
+    csr = random_csr(21, 16, 0.2, seed=5)
+    part = partition_windows(csr, 8)
+    assert part.num_windows == 3
+    assert part.window_row_range(0) == (0, 8)
+    assert part.window_row_range(2) == (16, 21)
+
+
+def test_empty_matrix_partition():
+    csr = CSRMatrix(np.zeros(9, dtype=np.int64), np.zeros(0, np.int32), np.zeros(0), (8, 8))
+    part = partition_windows(csr, 8)
+    assert part.num_windows == 1
+    assert part.num_nonzero_vectors == 0
+    assert part.zero_fill == 0
+    assert part.window_columns(0).size == 0
+
+
+def test_invalid_vector_size():
+    csr = random_csr(8, 8, 0.5)
+    with pytest.raises(ValueError):
+        partition_windows(csr, 0)
+
+
+def test_vector_size_mismatch_in_stats_raises(small_csr):
+    from repro.formats.stats import vector_stats
+
+    part = partition_windows(small_csr, 8)
+    with pytest.raises(ValueError):
+        vector_stats(part, 16)
+
+
+def test_columns_sorted_within_window(medium_csr):
+    part = partition_windows(medium_csr, 8)
+    for w in range(part.num_windows):
+        cols = part.window_columns(w)
+        assert np.all(np.diff(cols) > 0)
+
+
+def test_dense_matrix_single_window():
+    dense = np.ones((8, 8))
+    part = partition_windows(CSRMatrix.from_dense(dense), 8)
+    assert part.num_windows == 1
+    assert part.num_nonzero_vectors == 8
+    assert part.zero_fill == 0
