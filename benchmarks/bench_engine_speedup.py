@@ -1,0 +1,120 @@
+"""Engine microbenchmark — batched vs reference wall-clock on SpMM/SDDMM.
+
+The batched execution engine (:mod:`repro.kernels.engine`) exists to remove
+the per-(window, block, tile) interpreter overhead of the reference loops.
+This benchmark records the wall-clock of both engines on a fig11-style
+synthetic workload (Erdős–Rényi / power-law matrices, N = 128) and reports
+the speedup.  It doubles as a regression gate: the batched SpMM must stay at
+least 10× faster than the reference loop.
+
+Run standalone (``python benchmarks/bench_engine_speedup.py``) or through
+pytest (``pytest benchmarks/bench_engine_speedup.py --benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.datasets.generators import erdos_renyi_matrix, power_law_matrix
+from repro.formats.mebcrs import MEBCRSMatrix
+from repro.kernels.common import FlashSparseConfig
+from repro.kernels.spmm_flash import spmm_flash_execute
+from repro.kernels.sddmm_flash import sddmm_flash_execute
+
+#: Dense operand width, matching the Figure 11 sweep.
+N_DENSE = 128
+#: Minimum batched-over-reference SpMM speedup the engine must sustain.
+MIN_SPMM_SPEEDUP = 10.0
+#: Wall-clock samples per engine; best-of-N keeps the CI gate robust to
+#: scheduling noise on shared runners.
+TIMING_ROUNDS = 3
+
+
+def _workload():
+    """Two fig11-style synthetic matrices, small enough for the loop path."""
+    return [
+        ("erdos_renyi_2048", erdos_renyi_matrix(2048, avg_row_length=24, seed=11)),
+        ("power_law_3072", power_law_matrix(3072, avg_row_length=16, seed=12)),
+    ]
+
+
+def _time(fn) -> float:
+    best = float("inf")
+    for _ in range(TIMING_ROUNDS):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_engine_speedup():
+    """Rows of (matrix, op, reference s, batched s, speedup)."""
+    rng = np.random.default_rng(20260730)
+    rows = []
+    for name, csr in _workload():
+        fmt = MEBCRSMatrix.from_csr(csr, precision="fp16")
+        b = rng.standard_normal((fmt.shape[1], N_DENSE))
+        a = rng.standard_normal((fmt.shape[0], N_DENSE))
+        batched = FlashSparseConfig(precision="fp16", engine="batched")
+        reference = FlashSparseConfig(precision="fp16", engine="reference")
+
+        # Warm both paths once (format batch arrays, LRU caches, BLAS init).
+        spmm_flash_execute(fmt, b, batched)
+        ref_spmm = _time(lambda: spmm_flash_execute(fmt, b, reference))
+        bat_spmm = _time(lambda: spmm_flash_execute(fmt, b, batched))
+        rows.append([name, "spmm", ref_spmm, bat_spmm, ref_spmm / bat_spmm])
+
+        sddmm_flash_execute(fmt, a, b, batched)
+        ref_sddmm = _time(lambda: sddmm_flash_execute(fmt, a, b, reference))
+        bat_sddmm = _time(lambda: sddmm_flash_execute(fmt, a, b, batched))
+        rows.append([name, "sddmm", ref_sddmm, bat_sddmm, ref_sddmm / bat_sddmm])
+    return rows
+
+
+def _emit(rows) -> None:
+    from bench_common import emit_table
+
+    emit_table(
+        "engine_speedup",
+        ["Matrix", "Op", "Reference (s)", "Batched (s)", "Speedup"],
+        rows,
+        title="Batched execution engine vs reference emulation loop (N=128, fp16)",
+    )
+
+
+def _check(rows) -> None:
+    spmm_speedups = [r[4] for r in rows if r[1] == "spmm"]
+    worst = min(spmm_speedups)
+    assert worst >= MIN_SPMM_SPEEDUP, (
+        f"batched SpMM engine regressed: worst speedup {worst:.1f}x < "
+        f"{MIN_SPMM_SPEEDUP:.0f}x over the reference loop"
+    )
+
+
+try:  # the `benchmark` fixture only exists with the plugin installed
+    import pytest_benchmark  # noqa: F401
+
+    def test_engine_speedup(benchmark):
+        rows = benchmark.pedantic(run_engine_speedup, rounds=1, iterations=1)
+        _emit(rows)
+        _check(rows)
+
+except ImportError:
+
+    def test_engine_speedup():
+        rows = run_engine_speedup()
+        _emit(rows)
+        _check(rows)
+
+
+if __name__ == "__main__":
+    result_rows = run_engine_speedup()
+    try:
+        _emit(result_rows)
+    except ImportError:  # standalone invocation without the harness on sys.path
+        for row in result_rows:
+            print(f"{row[0]:>20} {row[1]:>6}: reference {row[2]:.3f}s  batched {row[3]:.3f}s  {row[4]:.1f}x")
+    _check(result_rows)
+    print(f"OK: batched SpMM engine >= {MIN_SPMM_SPEEDUP:.0f}x faster than the reference loop")

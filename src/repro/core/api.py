@@ -26,6 +26,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.formats.blocked import BlockedVectorFormat
+from repro.formats.cache import cached_mebcrs, cached_sgt16
 from repro.formats.csr import CSRMatrix
 from repro.formats.mebcrs import MEBCRSMatrix
 from repro.formats.sgt16 import SGT16Matrix
@@ -59,15 +60,14 @@ def _resolve_device(device: str | GPUSpec | None) -> GPUSpec | None:
 class FlashSparseMatrix:
     """A sparse matrix prepared for FlashSparse kernels.
 
-    Holds the CSR interchange form and caches the translated ME-BCRS (and,
-    when needed, the 16×1) representations per precision so repeated kernel
-    calls do not re-run the preprocessing (static-sparsity scenario of
-    Section 4.4).
+    Holds the CSR interchange form; the translated ME-BCRS (and, when
+    needed, the 16×1) representations are memoised per precision in the
+    shared LRU of :mod:`repro.formats.cache`, so repeated kernel calls do
+    not re-run the preprocessing (static-sparsity scenario of Section 4.4)
+    — even when the same CSR is re-wrapped by a new ``FlashSparseMatrix``.
     """
 
     csr: CSRMatrix
-    _mebcrs_cache: dict[Precision, MEBCRSMatrix] = field(default_factory=dict, repr=False)
-    _sgt16_cache: dict[Precision, SGT16Matrix] = field(default_factory=dict, repr=False)
 
     # ---------------------------------------------------------- constructors
     @classmethod
@@ -101,17 +101,11 @@ class FlashSparseMatrix:
     # ------------------------------------------------------------- translate
     def mebcrs(self, precision: Precision | str = Precision.FP16) -> MEBCRSMatrix:
         """The ME-BCRS translation at ``precision`` (cached)."""
-        precision = Precision(precision)
-        if precision not in self._mebcrs_cache:
-            self._mebcrs_cache[precision] = MEBCRSMatrix.from_csr(self.csr, precision=precision)
-        return self._mebcrs_cache[precision]
+        return cached_mebcrs(self.csr, precision)
 
     def sgt16(self, precision: Precision | str = Precision.TF32) -> SGT16Matrix:
         """The 16×1 baseline translation at ``precision`` (cached)."""
-        precision = Precision(precision)
-        if precision not in self._sgt16_cache:
-            self._sgt16_cache[precision] = SGT16Matrix.from_csr(self.csr, precision=precision)
-        return self._sgt16_cache[precision]
+        return cached_sgt16(self.csr, precision)
 
     def to_scipy(self) -> sp.csr_matrix:
         """Back to a scipy CSR matrix."""
@@ -196,6 +190,7 @@ def spmm(
     precision: Precision | str = Precision.FP16,
     coalesced: bool = True,
     device: str | GPUSpec | None = None,
+    engine: str = "batched",
 ) -> SpmmResult:
     """Sparse × dense matrix multiplication with the FlashSparse kernel.
 
@@ -203,7 +198,9 @@ def spmm(
     ----------
     a:
         Sparse matrix (FlashSparseMatrix, CSRMatrix, scipy sparse, or dense
-        ndarray that will be sparsified).
+        ndarray that will be sparsified).  CSR inputs are translated to
+        ME-BCRS through an LRU cache keyed by object identity; treat them as
+        immutable after the first call (see :mod:`repro.formats.cache`).
     b:
         Dense right-hand side of shape ``(a.shape[1], N)``.
     precision:
@@ -214,9 +211,14 @@ def spmm(
         Optional device name (``"h100"``, ``"rtx4090"``) or
         :class:`~repro.gpu.device.GPUSpec`; when given, the result carries an
         estimated runtime and GFLOPS.
+    engine:
+        ``"batched"`` (default) for the vectorized execution engine,
+        ``"reference"`` for the per-block emulation loop.
     """
     inp = _as_input(a)
-    config = FlashSparseConfig(precision=Precision(precision), coalesced=coalesced)
+    config = FlashSparseConfig(
+        precision=Precision(precision), coalesced=coalesced, engine=engine
+    )
     fmt = inp.mebcrs(config.precision)
     result = spmm_flash_execute(fmt, b, config)
     spec = _resolve_device(device)
@@ -237,14 +239,16 @@ def sddmm(
     precision: Precision | str = Precision.FP16,
     scale_by_mask: bool = False,
     device: str | GPUSpec | None = None,
+    engine: str = "batched",
 ) -> SddmmResult:
     """Sampled dense × dense matrix multiplication with the FlashSparse kernel.
 
     Computes ``out[i, j] = <a[i, :], b[j, :]>`` for every nonzero position of
-    ``mask`` (optionally scaled by the mask's values).
+    ``mask`` (optionally scaled by the mask's values).  ``engine`` selects the
+    batched execution engine (default) or the reference emulation loop.
     """
     inp = _as_input(mask)
-    config = FlashSparseConfig(precision=Precision(precision))
+    config = FlashSparseConfig(precision=Precision(precision), engine=engine)
     fmt = inp.mebcrs(config.precision)
     result = sddmm_flash_execute(fmt, a, b, config, scale_by_mask=scale_by_mask)
     spec = _resolve_device(device)

@@ -16,12 +16,15 @@ baselines rely on:
 * :mod:`repro.formats.sgt16` — the 16×1-vector format used by TC-GNN and
   DTC-SpMM;
 * :mod:`repro.formats.stats` — redundancy statistics (zero fill, MMA
-  counts, data-access cost) used for Figures 1, 12 and Table 2.
+  counts, data-access cost) used for Figures 1, 12 and Table 2;
+* :mod:`repro.formats.cache` — an LRU cache of CSR → blocked translations
+  shared by the kernel entry points.
 """
 
 from repro.formats.csr import CSRMatrix
 from repro.formats.windows import WindowPartition, partition_windows
-from repro.formats.blocked import BlockedVectorFormat
+from repro.formats.blocked import BlockBatch, BlockedVectorFormat
+from repro.formats.cache import cached_mebcrs, cached_sgt16, clear_format_cache
 from repro.formats.mebcrs import MEBCRSMatrix
 from repro.formats.srbcrs import SRBCRSMatrix
 from repro.formats.sgt16 import SGT16Matrix
@@ -38,7 +41,11 @@ __all__ = [
     "CSRMatrix",
     "WindowPartition",
     "partition_windows",
+    "BlockBatch",
     "BlockedVectorFormat",
+    "cached_mebcrs",
+    "cached_sgt16",
+    "clear_format_cache",
     "MEBCRSMatrix",
     "SRBCRSMatrix",
     "SGT16Matrix",

@@ -25,6 +25,57 @@ from repro.formats.windows import WindowPartition, partition_windows
 from repro.precision.types import Precision, dtype_for
 
 
+@dataclass(frozen=True)
+class BlockBatch:
+    """Every TC block of a :class:`BlockedVectorFormat`, packed into batch arrays.
+
+    All arrays are indexed by the global block number ``b`` (storage order:
+    window by window, then block by block within the window).  Blocks narrower
+    than ``group`` vectors are zero-padded on the trailing lanes, so a single
+    batched einsum/matmul over these arrays reproduces the per-block loop that
+    zero-fills its operand registers.
+
+    Attributes
+    ----------
+    group:
+        Number of vectors grouped per block (the format's ``k`` for SpMM; the
+        output-tile width for SDDMM).
+    widths:
+        ``(n_blocks,)`` — vectors actually present in each block.
+    window_of_block:
+        ``(n_blocks,)`` — owning window of each block.
+    blocks_per_window / first_block_of_window:
+        ``(num_windows,)`` — block count per window and the global index of
+        each window's first block (segment boundaries for window reductions).
+    columns:
+        ``(n_blocks, group)`` int64 — column index of each vector lane
+        (0 on padded lanes; mask with :attr:`lane_valid`).
+    vector_index:
+        ``(n_blocks, group)`` int64 — global nonzero-vector index of each lane
+        (0 on padded lanes).
+    lane_valid:
+        ``(n_blocks, group)`` bool — which lanes hold a real vector.
+    values:
+        ``(n_blocks, vector_size, group)`` float32 — the sparse TC blocks,
+        zero on padded lanes.
+    """
+
+    group: int
+    widths: np.ndarray
+    window_of_block: np.ndarray
+    blocks_per_window: np.ndarray
+    first_block_of_window: np.ndarray
+    columns: np.ndarray
+    vector_index: np.ndarray
+    lane_valid: np.ndarray
+    values: np.ndarray
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of TC blocks in the batch."""
+        return int(self.widths.shape[0])
+
+
 @dataclass
 class BlockedVectorFormat:
     """Window/vector-blocked sparse matrix.
@@ -183,6 +234,61 @@ class BlockedVectorFormat:
         """Yield ``(block_columns, block_values)`` for every block of a window."""
         for block in range(self.window_blocks(window)):
             yield self.block_columns(window, block), self.block_values(window, block)
+
+    # -------------------------------------------------------- batched access
+    def blocks_as_arrays(self, group: int | None = None) -> BlockBatch:
+        """Pack every TC block across all windows into padded batch arrays.
+
+        ``group`` is the number of vectors per block and defaults to the
+        format's MMA width :attr:`k`; the SDDMM kernels pass their output-tile
+        width instead.  The result is cached on the instance per ``group``, so
+        repeated kernel invocations on the same format (GNN training epochs,
+        benchmark sweeps over dense widths) pay the packing cost once.
+
+        The arrays assume the block structure and values are not mutated after
+        the first call, which holds for every translation produced by
+        :meth:`from_csr`.
+        """
+        group = self.k if group is None else int(group)
+        if group <= 0:
+            raise ValueError("group must be positive")
+        cache: dict[int, BlockBatch] = self.__dict__.setdefault("_block_batch_cache", {})
+        batch = cache.get(group)
+        if batch is not None:
+            return batch
+
+        part = self.partition
+        widths, window_of_block, first_block = part.block_widths(group)
+        blocks_per_window = np.diff(first_block)
+        n_blocks = widths.shape[0]
+
+        index_in_window = np.arange(n_blocks, dtype=np.int64) - first_block[window_of_block]
+        block_lo = part.window_ptr[window_of_block] + index_in_window * group
+        lane = np.arange(group, dtype=np.int64)
+        lane_valid = lane[None, :] < widths[:, None]
+        vector_index = np.where(lane_valid, block_lo[:, None] + lane[None, :], 0)
+
+        cols = part.vector_cols.astype(np.int64)
+        columns = np.where(lane_valid, cols[vector_index], 0)
+        # (n_blocks, group, vector_size) gather, zeroed on padded lanes, then
+        # transposed to the (rows, vectors) TC-block orientation.
+        gathered = np.asarray(self.vector_values, dtype=np.float32)[vector_index]
+        gathered[~lane_valid] = 0.0
+        values = np.ascontiguousarray(gathered.transpose(0, 2, 1))
+
+        batch = BlockBatch(
+            group=group,
+            widths=widths,
+            window_of_block=window_of_block,
+            blocks_per_window=blocks_per_window,
+            first_block_of_window=first_block[:-1],
+            columns=columns,
+            vector_index=vector_index,
+            lane_valid=lane_valid,
+            values=values,
+        )
+        cache[group] = batch
+        return batch
 
     # ----------------------------------------------------------- conversions
     def to_csr(self) -> CSRMatrix:

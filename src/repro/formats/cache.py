@@ -1,0 +1,90 @@
+"""LRU cache for CSR → blocked-format translations.
+
+The kernel entry points accept plain CSR matrices and translate them on the
+fly (the paper's preprocessing kernel).  Call sites that sweep the same
+matrix repeatedly — GNN training loops estimating per-epoch kernel times,
+benchmark sweeps over dense widths/devices — would otherwise re-run the
+translation on every call.  This module memoises the translations keyed by
+the *identity* of the CSR object: each cache entry keeps a strong reference
+to its source matrix, so a key can never alias a different matrix whose id
+was recycled.
+
+The key also fingerprints the three CSR array buffers (their base addresses
+and nnz), so rebinding ``matrix.data``/``indices``/``indptr`` to new arrays
+invalidates the entry.  What the cache cannot see is an *in-place* write to
+an existing buffer (``matrix.data[k] = v``): that mutation returns stale
+translations until :func:`clear_format_cache` is called or a fresh CSRMatrix
+is built.  Every producer in this codebase treats CSR matrices as immutable
+after construction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable
+
+from repro.formats.csr import CSRMatrix
+from repro.formats.mebcrs import MEBCRSMatrix
+from repro.formats.sgt16 import SGT16Matrix
+from repro.precision.types import Precision
+
+#: Maximum number of cached translations (each entry pins its source CSR and
+#: the translated format in memory, so the cap bounds the working set).
+FORMAT_CACHE_MAXSIZE = 32
+
+_cache: "OrderedDict[tuple, tuple[CSRMatrix, object]]" = OrderedDict()
+
+
+def _lookup(key: tuple, source: CSRMatrix, build: Callable[[], object]):
+    entry = _cache.get(key)
+    if entry is not None and entry[0] is source:
+        _cache.move_to_end(key)
+        return entry[1]
+    fmt = build()
+    _cache[key] = (source, fmt)
+    _cache.move_to_end(key)
+    while len(_cache) > FORMAT_CACHE_MAXSIZE:
+        _cache.popitem(last=False)
+    return fmt
+
+
+def _key(matrix: CSRMatrix, kind: str, precision: Precision) -> tuple:
+    return (
+        id(matrix),
+        matrix.indptr.ctypes.data,
+        matrix.indices.ctypes.data,
+        matrix.data.ctypes.data,
+        matrix.nnz,
+        kind,
+        precision,
+    )
+
+
+def cached_mebcrs(matrix: CSRMatrix, precision: Precision | str) -> MEBCRSMatrix:
+    """The ME-BCRS translation of ``matrix`` at ``precision``, memoised."""
+    precision = Precision(precision)
+    return _lookup(
+        _key(matrix, "mebcrs", precision),
+        matrix,
+        lambda: MEBCRSMatrix.from_csr(matrix, precision=precision),
+    )
+
+
+def cached_sgt16(matrix: CSRMatrix, precision: Precision | str) -> SGT16Matrix:
+    """The 16×1 SGT translation of ``matrix`` at ``precision``, memoised."""
+    precision = Precision(precision)
+    return _lookup(
+        _key(matrix, "sgt16", precision),
+        matrix,
+        lambda: SGT16Matrix.from_csr(matrix, precision=precision),
+    )
+
+
+def clear_format_cache() -> None:
+    """Drop every cached translation (and the pinned source matrices)."""
+    _cache.clear()
+
+
+def format_cache_size() -> int:
+    """Number of translations currently cached."""
+    return len(_cache)

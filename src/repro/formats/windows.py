@@ -87,6 +87,30 @@ class WindowPartition:
         counts = self.vectors_per_window
         return int((self.tc_blocks_per_window(k) * k - counts).sum())
 
+    def block_widths(self, k: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-TC-block vector counts and segment geometry, in storage order.
+
+        Returns ``(widths, window_of_block, first_block)``: ``widths[b]`` is
+        the number of vectors actually present in block ``b`` (``k`` for full
+        blocks, the residue for the last block of a window),
+        ``window_of_block[b]`` is the window the block belongs to, and
+        ``first_block`` (length ``num_windows + 1``) gives each window's
+        block range as ``first_block[w]:first_block[w + 1]``.  This is the
+        block-width histogram the batched engine and the closed-form cost
+        estimators share.
+        """
+        blocks_per_window = self.tc_blocks_per_window(k).astype(np.int64)
+        n_blocks = int(blocks_per_window.sum())
+        window_of_block = np.repeat(
+            np.arange(self.num_windows, dtype=np.int64), blocks_per_window
+        )
+        first_block = np.zeros(self.num_windows + 1, dtype=np.int64)
+        np.cumsum(blocks_per_window, out=first_block[1:])
+        index_in_window = np.arange(n_blocks, dtype=np.int64) - first_block[window_of_block]
+        counts = self.vectors_per_window.astype(np.int64)
+        widths = np.minimum(counts[window_of_block] - index_in_window * k, k)
+        return widths, window_of_block, first_block
+
     # -------------------------------------------------------------- accessors
     def window_columns(self, window: int) -> np.ndarray:
         """Column indices of the nonzero vectors in ``window`` (sorted)."""

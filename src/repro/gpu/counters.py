@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping
 
+import numpy as np
+
 
 @dataclass
 class CostCounter:
@@ -100,6 +102,29 @@ class CostCounter:
         if useful_bytes is None:
             useful_bytes = transaction_bytes * count
         self.bytes_written += int(useful_bytes)
+
+    def add_load_bulk(self, transaction_bytes: int, counts, useful_bytes) -> None:
+        """Vectorised :meth:`add_load`: sum per-block transaction/byte arrays.
+
+        ``counts`` and ``useful_bytes`` are array-likes (one entry per block /
+        window / whatever unit the caller batched over); the totals land in
+        the same counter fields one ``add_load`` per entry would produce, so a
+        closed-form cost pass over a block-width histogram yields bit-identical
+        state to the per-block loop.
+        """
+        self.add_load(
+            transaction_bytes,
+            int(np.sum(counts, dtype=np.int64)),
+            useful_bytes=int(np.sum(useful_bytes, dtype=np.int64)),
+        )
+
+    def add_store_bulk(self, transaction_bytes: int, counts, useful_bytes) -> None:
+        """Vectorised :meth:`add_store`; see :meth:`add_load_bulk`."""
+        self.add_store(
+            transaction_bytes,
+            int(np.sum(counts, dtype=np.int64)),
+            useful_bytes=int(np.sum(useful_bytes, dtype=np.int64)),
+        )
 
     def add_bytes_read(self, nbytes: int) -> None:
         """Record logically-read bytes without transaction bookkeeping."""

@@ -3,20 +3,47 @@
 Each kernel has two entry points:
 
 * an ``execute`` function that produces the numeric result *and* the cost
-  counter by walking the TC-block structure exactly the way the CUDA kernel
-  would (used by tests, examples and GNN training);
-* an ``estimate_cost`` function that produces the same cost counter directly
-  from the format's block structure without touching the values (used by the
+  counter (used by tests, examples and GNN training);
+* a ``cost`` function that produces the same cost counter directly from the
+  format's block structure without touching the values (used by the
   per-matrix benchmark sweeps, where only costs are needed).
 
-The two are cross-checked by tests on small matrices.
+Execution engine architecture
+-----------------------------
+Every ``execute`` function dispatches on ``FlashSparseConfig.engine``:
+
+* ``engine="reference"`` walks the TC-block structure with a per-(window,
+  block, tile) Python loop, issuing one emulated MMA
+  (:func:`repro.gpu.mma.mma_execute` / ``mma_execute_swapped``) per tile —
+  a faithful, instruction-level mirror of the CUDA kernel and the oracle
+  the batched engine is validated against;
+* ``engine="batched"`` (the default) routes the numerics through
+  :mod:`repro.kernels.engine`: the format's TC blocks are packed once into
+  padded batch arrays (:meth:`~repro.formats.blocked.BlockedVectorFormat.
+  blocks_as_arrays`), all dense rows are gathered with one fancy index, a
+  single batched matmul replaces the whole MMA loop nest, and window
+  accumulators are reduced with segment sums.
+
+The reference/batched contract: both engines produce *exactly* the same
+:class:`~repro.gpu.counters.CostCounter` state (the batched path takes its
+counter from the closed-form ``cost`` functions, which are computed over the
+block-width histogram with the bulk counter APIs and are asserted
+field-for-field equal to the loop's counters), and the same numeric values
+up to FP32 accumulation-order round-off (batched products may associate the
+``k``/feature reduction differently than the per-tile loop).  CSR inputs are
+translated to the blocked formats through the LRU cache of
+:mod:`repro.formats.cache`, so sweeps and training loops that re-submit the
+same matrix do not pay the translation twice.
 """
 
 from repro.kernels.common import (
     FlashSparseConfig,
     SpmmKernelResult,
     SddmmKernelResult,
+    resolve_flash_format,
+    resolve_tcu16_format,
 )
+from repro.kernels.engine import sddmm_batched, spmm_batched
 from repro.kernels.thread_mapping import (
     ThreadMapping,
     direct_mapping,
@@ -48,6 +75,10 @@ __all__ = [
     "FlashSparseConfig",
     "SpmmKernelResult",
     "SddmmKernelResult",
+    "resolve_flash_format",
+    "resolve_tcu16_format",
+    "spmm_batched",
+    "sddmm_batched",
     "ThreadMapping",
     "direct_mapping",
     "coalesced_mapping",

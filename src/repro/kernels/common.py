@@ -7,8 +7,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.formats.blocked import BlockedVectorFormat
+from repro.formats.cache import cached_mebcrs, cached_sgt16
+from repro.formats.csr import CSRMatrix
 from repro.gpu.counters import CostCounter
 from repro.precision.types import Precision
+
+#: Execution engines accepted by :class:`FlashSparseConfig`.
+ENGINES: tuple[str, ...] = ("batched", "reference")
 
 
 @dataclass(frozen=True)
@@ -26,11 +31,18 @@ class FlashSparseConfig:
     swap_and_transpose:
         Use the 8×1 swap-and-transpose strategy.  ``False`` selects the 16×1
         vector granularity (the ablation baseline of Figure 14).
+    engine:
+        ``"batched"`` (default) runs the vectorized execution engine of
+        :mod:`repro.kernels.engine`; ``"reference"`` runs the per-(window,
+        block, tile) emulation loop that mirrors the CUDA kernel
+        instruction-for-instruction.  Both produce the same cost counters
+        exactly and the same values up to FP32 round-off.
     """
 
     precision: Precision = Precision.FP16
     coalesced: bool = True
     swap_and_transpose: bool = True
+    engine: str = "batched"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "precision", Precision(self.precision))
@@ -39,11 +51,41 @@ class FlashSparseConfig:
                 "tensor-core kernels support fp16/tf32 only; "
                 "use the CUDA-core baselines for fp32"
             )
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
 
     @property
     def vector_size(self) -> int:
         """Nonzero-vector granularity implied by the strategy."""
         return 8 if self.swap_and_transpose else 16
+
+
+def resolve_flash_format(
+    matrix: BlockedVectorFormat | CSRMatrix, config: FlashSparseConfig, kernel: str
+) -> BlockedVectorFormat:
+    """The 8-row blocked form of ``matrix`` (CSR translated via the LRU cache)."""
+    if isinstance(matrix, BlockedVectorFormat):
+        if matrix.vector_size != 8:
+            raise ValueError(
+                f"FlashSparse {kernel} requires an 8-row vector format (ME-BCRS); "
+                f"got vector_size={matrix.vector_size}"
+            )
+        return matrix
+    return cached_mebcrs(matrix, config.precision)
+
+
+def resolve_tcu16_format(
+    matrix: BlockedVectorFormat | CSRMatrix, precision: Precision, kernel: str
+) -> BlockedVectorFormat:
+    """The 16-row blocked form of ``matrix`` (CSR translated via the LRU cache)."""
+    if isinstance(matrix, BlockedVectorFormat):
+        if matrix.vector_size != 16:
+            raise ValueError(
+                f"the 16x1 {kernel} needs a 16-row vector format, "
+                f"got vector_size={matrix.vector_size}"
+            )
+        return matrix
+    return cached_sgt16(matrix, precision)
 
 
 @dataclass

@@ -1,0 +1,137 @@
+"""Batched vectorized execution engine shared by the four TCU kernels.
+
+The reference kernels (``engine="reference"``) walk the TC-block structure
+with a per-(window, block, tile) Python loop, issuing one emulated MMA per
+tile.  That mirrors the CUDA kernel faithfully but is dominated by
+interpreter overhead.  This module is the ``engine="batched"`` execution
+path: it consumes the padded batch arrays of
+:meth:`repro.formats.blocked.BlockedVectorFormat.blocks_as_arrays` and
+replaces the whole loop nest with
+
+1. one fancy-index gather of every dense row addressed by any block,
+2. one batched matmul over all blocks (the zero-padded lanes of narrow
+   residue blocks contribute exactly the zero register values the loop path
+   feeds its MMAs), and
+3. a segment reduction (``np.add.reduceat`` over the window boundaries) plus
+   one scatter into the output.
+
+Only the numerics live here.  Cost accounting is closed-form over the
+block-width histogram and stays with each kernel's ``*_cost`` function,
+which produces bit-identical counter state to the reference loop (the parity
+tests assert exact ``CostCounter`` equality and value agreement).
+
+The engine is quantisation-faithful: the sparse values are re-quantised to
+the target precision exactly where :func:`repro.gpu.mma.mma_execute` would
+(FP16 storage is already exact; TF32 values are stored in FP32 containers
+and rounded here), and all accumulation happens in FP32, matching
+tensor-core accumulators.  Per-block products may sum the ``k`` dimension in
+a different association order than the 16-column-tile loop, so values agree
+to FP32 round-off, not bit-exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.blocked import BlockedVectorFormat
+from repro.precision.types import Precision, quantize
+
+
+def spmm_batched(
+    fmt: BlockedVectorFormat,
+    b_q: np.ndarray,
+    precision: Precision,
+) -> np.ndarray:
+    """Numeric result of ``C = A @ B`` over the whole block batch at once.
+
+    Parameters
+    ----------
+    fmt:
+        The blocked sparse matrix (any vector size; the swap-and-transpose
+        8×1 kernels and the 16×1 baselines share this path, since Equation (1)
+        is a numeric identity).
+    b_q:
+        Dense operand already quantised to ``precision``, float32, of shape
+        ``(fmt.shape[1], N)``.
+    precision:
+        Target precision; the stored sparse values are re-quantised to it.
+    """
+    v = fmt.vector_size
+    n_rows = fmt.shape[0]
+    n_dense = b_q.shape[1]
+    out = np.zeros((n_rows, n_dense), dtype=np.float32)
+    batch = fmt.blocks_as_arrays()
+    if batch.num_blocks == 0 or n_dense == 0:
+        return out
+
+    a_q = quantize(batch.values, precision).astype(np.float32)
+    gathered = b_q[batch.columns]  # (n_blocks, k, N); padded lanes hit row 0,
+    # which is harmless because the matching A lanes are exactly zero.
+    prod = a_q @ gathered  # batched matmul, (n_blocks, v, N)
+
+    nonempty = np.nonzero(batch.blocks_per_window > 0)[0]
+    seg_starts = batch.first_block_of_window[nonempty]
+    win_sums = np.add.reduceat(prod, seg_starts, axis=0)  # (n_nonempty, v, N)
+
+    out_rows = (nonempty[:, None] * v + np.arange(v)[None, :]).reshape(-1)
+    flat = win_sums.reshape(-1, n_dense)
+    keep = out_rows < n_rows
+    out[out_rows[keep]] = flat[keep]
+    return out
+
+
+def sddmm_batched(
+    fmt: BlockedVectorFormat,
+    a_q: np.ndarray,
+    b_q: np.ndarray,
+    precision: Precision,
+    group: int,
+    scale_by_mask: bool = False,
+) -> np.ndarray:
+    """Numeric SDDMM output values over the whole output-block batch at once.
+
+    Parameters
+    ----------
+    fmt:
+        The blocked sampling mask.
+    a_q, b_q:
+        Dense operands already quantised to ``precision``, float32, of shapes
+        ``(fmt.shape[0], K)`` and ``(fmt.shape[1], K)``.
+    precision:
+        Target precision (the dense operands are assumed pre-quantised; kept
+        for signature symmetry and future per-chunk emulation hooks).
+    group:
+        Nonzero vectors covered by one sparse output TC block (16 for the 8×1
+        swap-and-transpose kernel, 8 for the 16×1 baseline).
+    scale_by_mask:
+        Multiply each sampled dot product by the mask's stored value.
+
+    Returns
+    -------
+    ``(num_nonzero_vectors, vector_size)`` float32 array in the layout of
+    ``fmt.vector_values``.
+    """
+    del precision
+    v = fmt.vector_size
+    n_rows = fmt.shape[0]
+    k_dense = a_q.shape[1]
+    out_values = np.zeros(fmt.vector_values.shape, dtype=np.float32)
+    batch = fmt.blocks_as_arrays(group)
+    if batch.num_blocks == 0 or k_dense == 0:
+        return out_values
+
+    a_pad = np.zeros((fmt.num_windows * v, k_dense), dtype=np.float32)
+    a_pad[:n_rows] = a_q
+    a_win = a_pad.reshape(fmt.num_windows, v, k_dense)
+    a_blocks = a_win[batch.window_of_block]  # (n_blocks, v, K)
+    b_blocks = b_q[batch.columns]  # (n_blocks, group, K)
+    acc = a_blocks @ b_blocks.transpose(0, 2, 1)  # (n_blocks, v, group)
+
+    pattern = batch.values != 0.0
+    sampled = np.where(pattern, acc, 0.0)
+    if scale_by_mask:
+        sampled = sampled * batch.values
+    # Scatter each valid lane's column back to its nonzero vector.
+    lanes = batch.lane_valid
+    out_values[batch.vector_index[lanes]] = sampled.transpose(0, 2, 1)[lanes]
+    return out_values

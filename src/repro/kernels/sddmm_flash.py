@@ -25,7 +25,8 @@ from repro.formats.mebcrs import MEBCRSMatrix
 from repro.gpu.counters import CostCounter
 from repro.gpu.device import WARP_SIZE
 from repro.gpu.mma import default_shape, mma_execute_swapped
-from repro.kernels.common import FlashSparseConfig, SddmmKernelResult
+from repro.kernels.common import FlashSparseConfig, SddmmKernelResult, resolve_flash_format
+from repro.kernels.engine import sddmm_batched
 from repro.perfmodel.model import KernelProfile, sddmm_useful_flops
 from repro.precision.types import Precision, element_bytes, quantize
 from repro.utils.validation import check_dense_matrix
@@ -53,14 +54,7 @@ def _ceil_div(a: int, b: int) -> int:
 
 
 def _as_mebcrs(mask: MEBCRSMatrix | BlockedVectorFormat | CSRMatrix, config: FlashSparseConfig) -> BlockedVectorFormat:
-    if isinstance(mask, BlockedVectorFormat):
-        if mask.vector_size != 8:
-            raise ValueError(
-                "FlashSparse SDDMM requires an 8-row vector format (ME-BCRS); "
-                f"got vector_size={mask.vector_size}"
-            )
-        return mask
-    return MEBCRSMatrix.from_csr(mask, precision=config.precision)
+    return resolve_flash_format(mask, config, "SDDMM")
 
 
 # ---------------------------------------------------------------------------
@@ -158,6 +152,52 @@ def sddmm_flash_execute(
 
     a_q = quantize(a, precision).astype(np.float32)
     b_q = quantize(b, precision).astype(np.float32)
+    if config.engine == "batched" and k_dense > 0:
+        out_values = sddmm_batched(
+            fmt, a_q, b_q, precision, VECTORS_PER_OUTPUT_BLOCK, scale_by_mask=scale_by_mask
+        )
+        counter = sddmm_flash_cost(fmt, k_dense, config)
+    else:
+        out_values, counter = _sddmm_reference(fmt, a_q, b_q, config, shape, scale_by_mask)
+    output = BlockedVectorFormat(
+        partition=fmt.partition,
+        vector_values=out_values,
+        k=fmt.k,
+        precision=Precision.FP32,
+        format_name=f"{fmt.format_name}-sddmm-out",
+    )
+    useful = sddmm_useful_flops(fmt.nnz, k_dense)
+    return SddmmKernelResult(
+        output=output,
+        counter=counter,
+        kernel="flashsparse_sddmm",
+        useful_flops=useful,
+        meta={
+            "precision": precision.value,
+            "vector_size": 8,
+            "mma_shape": shape.name,
+            "k_dense": k_dense,
+            "scale_by_mask": scale_by_mask,
+            "engine": config.engine if k_dense > 0 else "reference",
+        },
+    )
+
+
+def _sddmm_reference(
+    fmt: BlockedVectorFormat,
+    a_q: np.ndarray,
+    b_q: np.ndarray,
+    config: FlashSparseConfig,
+    shape,
+    scale_by_mask: bool,
+) -> tuple[np.ndarray, CostCounter]:
+    """The per-(window, block, chunk) emulation loop — the engine's oracle."""
+    precision = config.precision
+    n_rows, n_cols = fmt.shape
+    k_dense = a_q.shape[1]
+    mma_k = shape.k
+    n_chunks = _ceil_div(k_dense, mma_k)
+    elem = element_bytes(precision)
     counter = CostCounter()
     out_values = np.zeros_like(fmt.vector_values, dtype=np.float32)
     mask_pattern = np.asarray(fmt.vector_values, dtype=np.float64) != 0.0
@@ -221,27 +261,7 @@ def sddmm_flash_execute(
         counter.add_warps(_ceil_div(n_vecs, VECTORS_PER_OUTPUT_BLOCK))
 
     _set_footprints(counter, fmt, n_rows, n_cols, k_dense, precision)
-    output = BlockedVectorFormat(
-        partition=fmt.partition,
-        vector_values=out_values,
-        k=fmt.k,
-        precision=Precision.FP32,
-        format_name=f"{fmt.format_name}-sddmm-out",
-    )
-    useful = sddmm_useful_flops(fmt.nnz, k_dense)
-    return SddmmKernelResult(
-        output=output,
-        counter=counter,
-        kernel="flashsparse_sddmm",
-        useful_flops=useful,
-        meta={
-            "precision": precision.value,
-            "vector_size": 8,
-            "mma_shape": shape.name,
-            "k_dense": k_dense,
-            "scale_by_mask": scale_by_mask,
-        },
-    )
+    return out_values, counter
 
 
 def sddmm_flash_cost(
@@ -265,8 +285,9 @@ def sddmm_flash_cost(
 
     counts = fmt.partition.vectors_per_window.astype(np.int64)
     nonempty = counts > 0
-    blocks_per_window = (counts + VECTORS_PER_OUTPUT_BLOCK - 1) // VECTORS_PER_OUTPUT_BLOCK
-    num_blocks = int(blocks_per_window.sum())
+    widths, _, first_block = fmt.partition.block_widths(VECTORS_PER_OUTPUT_BLOCK)
+    blocks_per_window = np.diff(first_block)
+    num_blocks = widths.shape[0]
     total_vectors = int(counts.sum())
 
     counter = CostCounter()
@@ -286,18 +307,11 @@ def sddmm_flash_cost(
     )
     counter.add_index_ops(INDEX_OPS_PER_BLOCK_CHUNK * num_blocks * n_chunks)
 
-    # Output stores: per block, the present vectors' 8 FP32 values.  Widths
-    # are VECTORS_PER_OUTPUT_BLOCK for full blocks plus the residue.
-    full_blocks = counts // VECTORS_PER_OUTPUT_BLOCK
-    residues = counts - full_blocks * VECTORS_PER_OUTPUT_BLOCK
-    full_bytes = VECTORS_PER_OUTPUT_BLOCK * 8 * 4
-    store_tx = int(
-        full_blocks.sum() * _ceil_div(full_bytes, 32)
-        + np.where(residues > 0, -(-(residues * 8 * 4) // 32), 0).sum()
-    )
-    store_bytes = int(total_vectors * 8 * 4)
-    if store_bytes:
-        counter.add_store(32, store_tx, useful_bytes=store_bytes)
+    # Output stores: per block, the present vectors' 8 FP32 values — the
+    # per-block byte counts come straight off the block-width histogram.
+    store_bytes = widths * 8 * 4
+    if total_vectors:
+        counter.add_store_bulk(32, -(-store_bytes // 32), store_bytes)
 
     counter.add_warps(int(blocks_per_window[nonempty].sum()))
     _set_footprints(counter, fmt, fmt.shape[0], fmt.shape[1], k_dense, precision)

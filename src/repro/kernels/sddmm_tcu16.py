@@ -17,7 +17,8 @@ from repro.formats.csr import CSRMatrix
 from repro.formats.sgt16 import SGT16Matrix
 from repro.gpu.counters import CostCounter
 from repro.gpu.mma import MMA_M16N8K8_FP16, MMA_M16N8K8_TF32, MMAShape, mma_execute
-from repro.kernels.common import FlashSparseConfig, SddmmKernelResult
+from repro.kernels.common import FlashSparseConfig, SddmmKernelResult, resolve_tcu16_format
+from repro.kernels.engine import sddmm_batched
 from repro.perfmodel.model import KernelProfile, sddmm_useful_flops
 from repro.precision.types import Precision, element_bytes, quantize
 from repro.utils.validation import check_dense_matrix
@@ -52,13 +53,7 @@ def _instruction_for(precision: Precision) -> MMAShape:
 
 
 def _as_sgt16(mask: SGT16Matrix | BlockedVectorFormat | CSRMatrix, precision: Precision) -> BlockedVectorFormat:
-    if isinstance(mask, BlockedVectorFormat):
-        if mask.vector_size != 16:
-            raise ValueError(
-                f"the 16x1 SDDMM needs a 16-row vector format, got vector_size={mask.vector_size}"
-            )
-        return mask
-    return SGT16Matrix.from_csr(mask, precision=precision)
+    return resolve_tcu16_format(mask, precision, "SDDMM")
 
 
 def _set_footprints(
@@ -102,6 +97,52 @@ def sddmm_tcu16_execute(
 
     a_q = quantize(a, precision).astype(np.float32)
     b_q = quantize(b, precision).astype(np.float32)
+    if config.engine == "batched" and k_dense > 0:
+        out_values = sddmm_batched(
+            fmt, a_q, b_q, precision, VECTORS_PER_OUTPUT_BLOCK, scale_by_mask=scale_by_mask
+        )
+        counter = sddmm_tcu16_cost(fmt, k_dense, config)
+    else:
+        out_values, counter = _sddmm_reference(fmt, a_q, b_q, config, shape, scale_by_mask)
+    output = BlockedVectorFormat(
+        partition=fmt.partition,
+        vector_values=out_values,
+        k=fmt.k,
+        precision=Precision.FP32,
+        format_name=f"{fmt.format_name}-sddmm-out",
+    )
+    useful = sddmm_useful_flops(fmt.nnz, k_dense)
+    return SddmmKernelResult(
+        output=output,
+        counter=counter,
+        kernel="tcu16_sddmm",
+        useful_flops=useful,
+        meta={
+            "precision": precision.value,
+            "vector_size": 16,
+            "mma_shape": shape.name,
+            "k_dense": k_dense,
+            "scale_by_mask": scale_by_mask,
+            "engine": config.engine if k_dense > 0 else "reference",
+        },
+    )
+
+
+def _sddmm_reference(
+    fmt: BlockedVectorFormat,
+    a_q: np.ndarray,
+    b_q: np.ndarray,
+    config: FlashSparseConfig,
+    shape: MMAShape,
+    scale_by_mask: bool,
+) -> tuple[np.ndarray, CostCounter]:
+    """The per-(window, block, chunk) emulation loop — the engine's oracle."""
+    precision = config.precision
+    n_rows, n_cols = fmt.shape
+    k_dense = a_q.shape[1]
+    mma_k = shape.k
+    n_chunks = _ceil_div(k_dense, mma_k)
+    elem = element_bytes(precision)
     counter = CostCounter()
     out_values = np.zeros_like(fmt.vector_values, dtype=np.float32)
     mask_pattern = np.asarray(fmt.vector_values, dtype=np.float64) != 0.0
@@ -155,27 +196,7 @@ def sddmm_tcu16_execute(
         counter.add_warps(_ceil_div(n_vecs, VECTORS_PER_OUTPUT_BLOCK))
 
     _set_footprints(counter, fmt, n_rows, n_cols, k_dense, precision)
-    output = BlockedVectorFormat(
-        partition=fmt.partition,
-        vector_values=out_values,
-        k=fmt.k,
-        precision=Precision.FP32,
-        format_name=f"{fmt.format_name}-sddmm-out",
-    )
-    useful = sddmm_useful_flops(fmt.nnz, k_dense)
-    return SddmmKernelResult(
-        output=output,
-        counter=counter,
-        kernel="tcu16_sddmm",
-        useful_flops=useful,
-        meta={
-            "precision": precision.value,
-            "vector_size": 16,
-            "mma_shape": shape.name,
-            "k_dense": k_dense,
-            "scale_by_mask": scale_by_mask,
-        },
-    )
+    return out_values, counter
 
 
 def sddmm_tcu16_cost(
@@ -197,8 +218,9 @@ def sddmm_tcu16_cost(
 
     counts = fmt.partition.vectors_per_window.astype(np.int64)
     nonempty = counts > 0
-    blocks_per_window = (counts + VECTORS_PER_OUTPUT_BLOCK - 1) // VECTORS_PER_OUTPUT_BLOCK
-    num_blocks = int(blocks_per_window.sum())
+    widths, _, first_block = fmt.partition.block_widths(VECTORS_PER_OUTPUT_BLOCK)
+    blocks_per_window = np.diff(first_block)
+    num_blocks = widths.shape[0]
     total_vectors = int(counts.sum())
 
     counter = CostCounter()
@@ -218,16 +240,9 @@ def sddmm_tcu16_cost(
     )
     counter.add_index_ops(INDEX_OPS_PER_BLOCK_CHUNK * num_blocks * n_chunks)
 
-    full_blocks = counts // VECTORS_PER_OUTPUT_BLOCK
-    residues = counts - full_blocks * VECTORS_PER_OUTPUT_BLOCK
-    full_bytes = VECTORS_PER_OUTPUT_BLOCK * 16 * 4
-    store_tx = int(
-        full_blocks.sum() * _ceil_div(full_bytes, 32)
-        + np.where(residues > 0, -(-(residues * 16 * 4) // 32), 0).sum()
-    )
-    store_bytes = int(total_vectors * 16 * 4)
-    if store_bytes:
-        counter.add_store(32, store_tx, useful_bytes=store_bytes)
+    store_bytes = widths * 16 * 4
+    if total_vectors:
+        counter.add_store_bulk(32, -(-store_bytes // 32), store_bytes)
 
     counter.add_warps(int(blocks_per_window[nonempty].sum()))
     _set_footprints(counter, fmt, fmt.shape[0], fmt.shape[1], k_dense, precision)

@@ -29,7 +29,8 @@ from repro.formats.csr import CSRMatrix
 from repro.formats.mebcrs import MEBCRSMatrix
 from repro.gpu.counters import CostCounter
 from repro.gpu.mma import default_shape, mma_execute_swapped
-from repro.kernels.common import FlashSparseConfig, SpmmKernelResult
+from repro.kernels.common import FlashSparseConfig, SpmmKernelResult, resolve_flash_format
+from repro.kernels.engine import spmm_batched
 from repro.kernels.thread_mapping import b_tile_transactions, get_mapping
 from repro.perfmodel.model import KernelProfile, spmm_useful_flops
 from repro.precision.types import Precision, element_bytes, quantize
@@ -71,14 +72,7 @@ def _b_row_transactions(precision: str, coalesced: bool) -> int:
 
 
 def _as_mebcrs(matrix: MEBCRSMatrix | BlockedVectorFormat | CSRMatrix, config: FlashSparseConfig) -> BlockedVectorFormat:
-    if isinstance(matrix, BlockedVectorFormat):
-        if matrix.vector_size != 8:
-            raise ValueError(
-                "FlashSparse SpMM requires an 8-row vector format (ME-BCRS); "
-                f"got vector_size={matrix.vector_size}"
-            )
-        return matrix
-    return MEBCRSMatrix.from_csr(matrix, precision=config.precision)
+    return resolve_flash_format(matrix, config, "SpMM")
 
 
 def _add_block_tile_costs(
@@ -164,6 +158,41 @@ def spmm_flash_execute(
         )
 
     b_q = quantize(b, precision).astype(np.float32)
+    if config.engine == "batched" and n_dense > 0:
+        # One batched matmul over all TC blocks; the counter comes from the
+        # closed-form cost pass, which is bit-identical to the loop below.
+        out = spmm_batched(fmt, b_q, precision)
+        counter = spmm_flash_cost(fmt, n_dense, config)
+    else:
+        out, counter = _spmm_reference(fmt, b_q, config, shape)
+    useful = spmm_useful_flops(fmt.nnz, n_dense)
+    return SpmmKernelResult(
+        values=out,
+        counter=counter,
+        kernel="flashsparse_spmm",
+        useful_flops=useful,
+        meta={
+            "precision": precision.value,
+            "coalesced": config.coalesced,
+            "vector_size": 8,
+            "mma_shape": shape.name,
+            "n_dense": n_dense,
+            "engine": config.engine if n_dense > 0 else "reference",
+        },
+    )
+
+
+def _spmm_reference(
+    fmt: BlockedVectorFormat,
+    b_q: np.ndarray,
+    config: FlashSparseConfig,
+    shape,
+) -> tuple[np.ndarray, CostCounter]:
+    """The per-(window, block, tile) emulation loop — the engine's oracle."""
+    precision = config.precision
+    k = shape.k
+    n_rows, n_cols = fmt.shape
+    n_dense = b_q.shape[1]
     counter = CostCounter()
     out = np.zeros((n_rows, n_dense), dtype=np.float32)
     n_tiles = _ceil_div(n_dense, DENSE_TILE_COLS)
@@ -200,20 +229,7 @@ def spmm_flash_execute(
         counter.add_warps(n_tiles)
 
     _set_footprints(counter, fmt, n_cols, n_dense, precision)
-    useful = spmm_useful_flops(fmt.nnz, n_dense)
-    return SpmmKernelResult(
-        values=out,
-        counter=counter,
-        kernel="flashsparse_spmm",
-        useful_flops=useful,
-        meta={
-            "precision": precision.value,
-            "coalesced": config.coalesced,
-            "vector_size": 8,
-            "mma_shape": shape.name,
-            "n_dense": n_dense,
-        },
-    )
+    return out, counter
 
 
 def spmm_flash_cost(
@@ -247,22 +263,18 @@ def spmm_flash_cost(
 
     counts = fmt.partition.vectors_per_window.astype(np.int64)
     nonempty = counts > 0
-    full_blocks = counts // k
-    residues = counts - full_blocks * k
-    num_blocks = int(full_blocks.sum() + (residues > 0).sum())
+    widths, _, _ = fmt.partition.block_widths(k)
+    num_blocks = widths.shape[0]
     total_vectors = int(counts.sum())
 
     counter = CostCounter()
     counter.add_mma(shape.name, precision.value, num_blocks * n_tiles)
 
-    # Sparse TC block A loads: 8 * width values per block per tile.
-    # Per-block A transactions: ceil(8 * width * elem / 32); widths are k for
-    # full blocks and the residue for the last block of each window.
-    a_bytes_per_tile = 8 * total_vectors * elem
-    full_block_tx = _ceil_div(8 * k * elem, 32)
-    residue_tx = np.where(residues > 0, -(-(8 * residues * elem) // 32), 0)
-    a_tx_per_tile = int(full_blocks.sum() * full_block_tx + residue_tx.sum())
-    counter.add_load(32, a_tx_per_tile * n_tiles, useful_bytes=a_bytes_per_tile * n_tiles)
+    # Sparse TC block A loads: 8 * width values per block per tile, with
+    # per-block transaction counts taken from the block-width histogram
+    # (widths are k for full blocks, the residue for a window's last block).
+    a_bytes = 8 * widths * elem
+    counter.add_load_bulk(32, (-(-a_bytes // 32)) * n_tiles, a_bytes * n_tiles)
 
     # Dense TC block B loads: one gathered row per vector, per tile.
     b_useful_per_tile = total_vectors * DENSE_TILE_COLS * elem
@@ -279,10 +291,9 @@ def spmm_flash_cost(
     if fmt.num_windows:
         last_rows = fmt.shape[0] - (fmt.num_windows - 1) * 8
         window_rows[-1] = last_rows
-    out_bytes = int((window_rows[nonempty] * n_dense * 4).sum())
-    out_tx = int(np.ceil(window_rows[nonempty] * n_dense * 4 / 32).sum())
-    if out_bytes:
-        counter.add_store(32, out_tx, useful_bytes=out_bytes)
+    out_bytes = window_rows[nonempty] * n_dense * 4
+    if int(out_bytes.sum()):
+        counter.add_store_bulk(32, -(-out_bytes // 32), out_bytes)
 
     counter.add_warps(int(nonempty.sum()) * n_tiles)
     _set_footprints(counter, fmt, fmt.shape[1], n_dense, precision)

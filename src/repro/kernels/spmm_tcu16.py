@@ -27,7 +27,8 @@ from repro.gpu.mma import (
     WMMA_M16N16K8_TF32,
     mma_execute,
 )
-from repro.kernels.common import FlashSparseConfig, SpmmKernelResult
+from repro.kernels.common import FlashSparseConfig, SpmmKernelResult, resolve_tcu16_format
+from repro.kernels.engine import spmm_batched
 from repro.perfmodel.model import KernelProfile, spmm_useful_flops
 from repro.precision.types import Precision, element_bytes, quantize
 from repro.utils.validation import check_dense_matrix
@@ -69,13 +70,7 @@ def instruction_for(precision: Precision, api: str = "mma") -> MMAShape:
 
 
 def _as_sgt16(matrix: SGT16Matrix | BlockedVectorFormat | CSRMatrix, precision: Precision) -> BlockedVectorFormat:
-    if isinstance(matrix, BlockedVectorFormat):
-        if matrix.vector_size != 16:
-            raise ValueError(
-                f"the 16x1 kernel needs a 16-row vector format, got vector_size={matrix.vector_size}"
-            )
-        return matrix
-    return SGT16Matrix.from_csr(matrix, precision=precision)
+    return resolve_tcu16_format(matrix, precision, "kernel")
 
 
 def _b_row_transactions(precision: Precision, dense_tile: int) -> tuple[int, int]:
@@ -127,6 +122,43 @@ def spmm_tcu16_execute(
     k = shape.k
 
     b_q = quantize(b, precision).astype(np.float32)
+    if config.engine == "batched" and n_dense > 0:
+        # The swap-and-transpose identity makes the 16×1 numerics identical
+        # in shape to the 8×1 path, so both share the batched engine.
+        out = spmm_batched(fmt, b_q, precision)
+        counter = spmm_tcu16_cost(fmt, n_dense, config, api)
+    else:
+        out, counter = _spmm_reference(fmt, b_q, config, shape)
+    useful = spmm_useful_flops(fmt.nnz, n_dense)
+    return SpmmKernelResult(
+        values=out,
+        counter=counter,
+        kernel="tcu16_spmm" if api == "mma" else "tcu16_wmma_spmm",
+        useful_flops=useful,
+        meta={
+            "precision": precision.value,
+            "vector_size": 16,
+            "mma_shape": shape.name,
+            "api": api,
+            "n_dense": n_dense,
+            "engine": config.engine if n_dense > 0 else "reference",
+        },
+    )
+
+
+def _spmm_reference(
+    fmt: BlockedVectorFormat,
+    b_q: np.ndarray,
+    config: FlashSparseConfig,
+    shape: MMAShape,
+) -> tuple[np.ndarray, CostCounter]:
+    """The per-(window, block, tile) emulation loop — the engine's oracle."""
+    precision = config.precision
+    k = shape.k
+    dense_tile = shape.n
+    n_rows, n_cols = fmt.shape
+    n_dense = b_q.shape[1]
+    n_tiles = _ceil_div(n_dense, dense_tile)
     counter = CostCounter()
     out = np.zeros((n_rows, n_dense), dtype=np.float32)
     elem = element_bytes(precision)
@@ -170,20 +202,7 @@ def spmm_tcu16_execute(
         counter.add_warps(n_tiles)
 
     _set_footprints(counter, fmt, n_cols, n_dense, precision)
-    useful = spmm_useful_flops(fmt.nnz, n_dense)
-    return SpmmKernelResult(
-        values=out,
-        counter=counter,
-        kernel="tcu16_spmm" if api == "mma" else "tcu16_wmma_spmm",
-        useful_flops=useful,
-        meta={
-            "precision": precision.value,
-            "vector_size": 16,
-            "mma_shape": shape.name,
-            "api": api,
-            "n_dense": n_dense,
-        },
-    )
+    return out, counter
 
 
 def spmm_tcu16_cost(
@@ -212,19 +231,15 @@ def spmm_tcu16_cost(
 
     counts = fmt.partition.vectors_per_window.astype(np.int64)
     nonempty = counts > 0
-    full_blocks = counts // k
-    residues = counts - full_blocks * k
-    num_blocks = int(full_blocks.sum() + (residues > 0).sum())
+    widths, _, _ = fmt.partition.block_widths(k)
+    num_blocks = widths.shape[0]
     total_vectors = int(counts.sum())
 
     counter = CostCounter()
     counter.add_mma(shape.name, precision.value, num_blocks * n_tiles)
 
-    full_block_tx = _ceil_div(16 * k * elem, 32)
-    residue_tx = np.where(residues > 0, -(-(16 * residues * elem) // 32), 0)
-    a_tx_per_tile = int(full_blocks.sum() * full_block_tx + residue_tx.sum())
-    a_bytes_per_tile = 16 * total_vectors * elem
-    counter.add_load(32, a_tx_per_tile * n_tiles, useful_bytes=a_bytes_per_tile * n_tiles)
+    a_bytes = 16 * widths * elem
+    counter.add_load_bulk(32, (-(-a_bytes // 32)) * n_tiles, a_bytes * n_tiles)
 
     counter.add_load(
         32,
@@ -238,11 +253,7 @@ def spmm_tcu16_cost(
         window_rows[-1] = fmt.shape[0] - (fmt.num_windows - 1) * 16
     out_bytes_arr = window_rows[nonempty] * n_dense * 4
     if out_bytes_arr.size:
-        counter.add_store(
-            32,
-            int(np.ceil(out_bytes_arr / 32).sum()),
-            useful_bytes=int(out_bytes_arr.sum()),
-        )
+        counter.add_store_bulk(32, -(-out_bytes_arr // 32), out_bytes_arr)
     counter.add_warps(int(nonempty.sum()) * n_tiles)
     _set_footprints(counter, fmt, fmt.shape[1], n_dense, precision)
     return counter

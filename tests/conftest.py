@@ -1,10 +1,15 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Plain helpers live in :mod:`helpers` (importable by test modules without the
+``conftest`` module-name collision with ``benchmarks/conftest.py``).
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
+
+from helpers import random_csr
 
 from repro.formats.csr import CSRMatrix
 
@@ -13,24 +18,6 @@ from repro.formats.csr import CSRMatrix
 def rng() -> np.random.Generator:
     """Deterministic RNG for tests."""
     return np.random.default_rng(12345)
-
-
-def random_csr(
-    n_rows: int,
-    n_cols: int,
-    density: float,
-    seed: int = 0,
-    ensure_nonempty: bool = True,
-) -> CSRMatrix:
-    """Random CSR matrix helper used across test modules."""
-    matrix = sp.random(n_rows, n_cols, density=density, format="csr", random_state=seed)
-    matrix.data = np.abs(matrix.data) + 0.1  # keep values away from zero
-    csr = CSRMatrix.from_scipy(matrix)
-    if ensure_nonempty and csr.nnz == 0:
-        dense = np.zeros((n_rows, n_cols), dtype=np.float32)
-        dense[0, 0] = 1.0
-        csr = CSRMatrix.from_dense(dense)
-    return csr
 
 
 @pytest.fixture

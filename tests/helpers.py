@@ -1,0 +1,32 @@
+"""Shared non-fixture helpers for the test suite.
+
+Kept separate from ``conftest.py`` so test modules can import them by name:
+importing from ``conftest`` breaks as soon as another rootdir directory (the
+benchmark harness) also ships a ``conftest.py``, because the flat module
+namespace can only hold one module called ``conftest``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.formats.csr import CSRMatrix
+
+
+def random_csr(
+    n_rows: int,
+    n_cols: int,
+    density: float,
+    seed: int = 0,
+    ensure_nonempty: bool = True,
+) -> CSRMatrix:
+    """Random CSR matrix helper used across test modules."""
+    matrix = sp.random(n_rows, n_cols, density=density, format="csr", random_state=seed)
+    matrix.data = np.abs(matrix.data) + 0.1  # keep values away from zero
+    csr = CSRMatrix.from_scipy(matrix)
+    if ensure_nonempty and csr.nnz == 0:
+        dense = np.zeros((n_rows, n_cols), dtype=np.float32)
+        dense[0, 0] = 1.0
+        csr = CSRMatrix.from_dense(dense)
+    return csr

@@ -21,7 +21,7 @@ from repro.kernels.spmm_flash import spmm_flash_cost
 from repro.kernels.spmm_tcu16 import spmm_tcu16_cost
 from repro.precision.types import Precision
 
-from conftest import random_csr
+from helpers import random_csr
 
 
 def test_registry_contains_all_table3_rows():

@@ -10,7 +10,7 @@ from repro.core.api import sddmm_cost, spmm_cost
 from repro.gpu.device import RTX4090
 from repro.precision.types import Precision
 
-from conftest import random_csr
+from helpers import random_csr
 
 
 def test_version_exported():

@@ -10,7 +10,7 @@ from repro.formats.sgt16 import SGT16Matrix, SGT_VECTOR_SIZE, default_block_k_16
 from repro.formats.srbcrs import SRBCRSMatrix, footprint_reduction
 from repro.precision.types import Precision
 
-from conftest import random_csr
+from helpers import random_csr
 
 
 # ---------------------------------------------------------------------------

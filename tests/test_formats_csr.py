@@ -6,7 +6,7 @@ import scipy.sparse as sp
 
 from repro.formats.csr import CSRMatrix
 
-from conftest import random_csr
+from helpers import random_csr
 
 
 def test_from_scipy_round_trip(small_csr):

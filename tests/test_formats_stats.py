@@ -15,7 +15,7 @@ from repro.formats.stats import (
 )
 from repro.formats.windows import partition_windows
 
-from conftest import random_csr
+from helpers import random_csr
 
 
 def test_dense_tile_cols():

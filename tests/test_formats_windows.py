@@ -6,7 +6,7 @@ import pytest
 from repro.formats.csr import CSRMatrix
 from repro.formats.windows import partition_windows
 
-from conftest import random_csr
+from helpers import random_csr
 
 
 def dense_reference_partition(dense: np.ndarray, vector_size: int):

@@ -8,7 +8,7 @@ from repro.gnn import autograd as ag
 from repro.gnn.autograd import Parameter, Tensor, no_grad
 from repro.gnn.backends import make_backend
 
-from conftest import random_csr
+from helpers import random_csr
 
 
 def numerical_gradient(func, array, eps=1e-3):

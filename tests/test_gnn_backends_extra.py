@@ -8,7 +8,7 @@ from repro.gnn.end_to_end import estimate_epoch_time
 from repro.gpu.device import H100_PCIE, RTX4090
 from repro.precision.types import Precision
 
-from conftest import random_csr
+from helpers import random_csr
 
 
 @pytest.fixture

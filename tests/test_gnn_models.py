@@ -21,7 +21,7 @@ from repro.gnn.train import Adam, train_gcn_accuracy
 from repro.gpu.device import RTX4090
 from repro.precision.types import Precision
 
-from conftest import random_csr
+from helpers import random_csr
 
 
 @pytest.fixture

@@ -17,7 +17,7 @@ from repro.kernels import (
 from repro.kernels.common import FlashSparseConfig
 from repro.perfmodel import estimate_time, geometric_mean, spmm_useful_flops
 
-from conftest import random_csr
+from helpers import random_csr
 
 
 def test_attention_pipeline_sddmm_then_spmm(rng):

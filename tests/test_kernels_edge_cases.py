@@ -17,7 +17,7 @@ from repro.kernels.sddmm_flash import sddmm_flash_cost, sddmm_flash_execute
 from repro.kernels.spmm_flash import spmm_flash_cost, spmm_flash_execute
 from repro.kernels.spmm_tcu16 import spmm_tcu16_execute
 
-from conftest import random_csr
+from helpers import random_csr
 
 
 def _check_spmm(csr, n_dense, precision="fp16", seed=0):

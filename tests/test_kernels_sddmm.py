@@ -13,7 +13,7 @@ from repro.kernels.sddmm_flash import (
 )
 from repro.kernels.sddmm_tcu16 import sddmm_tcu16_cost, sddmm_tcu16_execute
 
-from conftest import random_csr
+from helpers import random_csr
 
 
 def reference_sddmm(csr, a, b, scale_by_mask=False):

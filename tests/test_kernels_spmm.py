@@ -10,7 +10,7 @@ from repro.kernels.spmm_flash import spmm_flash_cost, spmm_flash_execute
 from repro.kernels.spmm_tcu16 import instruction_for, spmm_tcu16_cost, spmm_tcu16_execute
 from repro.precision.types import Precision
 
-from conftest import random_csr
+from helpers import random_csr
 
 
 def reference_spmm(csr, b):
