@@ -25,6 +25,7 @@ import numpy as np
 from repro.formats.csr import CSRMatrix
 from repro.gpu.counters import CostCounter
 from repro.kernels.common import SddmmKernelResult, SpmmKernelResult
+from repro.ops import segment_ids
 from repro.perfmodel.model import KernelProfile, sddmm_useful_flops, spmm_useful_flops
 from repro.precision.types import Precision
 
@@ -60,7 +61,7 @@ def csr_sddmm_reference(matrix: CSRMatrix, a: np.ndarray, b: np.ndarray) -> CSRM
     """FP32 CSR SDDMM reference: sampled dot products at the mask's nonzeros."""
     a = np.asarray(a, dtype=np.float32)
     b = np.asarray(b, dtype=np.float32)
-    rows = np.repeat(np.arange(matrix.n_rows), np.diff(matrix.indptr).astype(np.int64))
+    rows = segment_ids(matrix.indptr)
     cols = matrix.indices.astype(np.int64)
     values = np.einsum("ij,ij->i", a[rows], b[cols]).astype(np.float32)
     return matrix.with_values(values)

@@ -34,6 +34,14 @@ from repro.precision.types import Precision
 #: block, charged once per dense tile the block is multiplied against.
 TCGNN_POSITION_CHECK_OPS = 4
 
+#: Shared 16×1 kernel configuration for both TCU baselines.  The engine is
+#: pinned explicitly: the baselines' execute paths run the batched vectorized
+#: engine (not the per-block emulation loops), which the audit of the stale
+#: "baselines walk Python loops" ROADMAP claim made explicit.
+_TCU16_BATCHED_CONFIG = FlashSparseConfig(
+    precision=Precision.TF32, swap_and_transpose=False, engine="batched"
+)
+
 
 def _ceil_div(a: int, b: int) -> int:
     return -(-int(a) // int(b))
@@ -57,13 +65,13 @@ DTC_SPMM_PROFILE = KernelProfile(
 
 def dtc_spmm_cost(matrix: CSRMatrix | SGT16Matrix, n_dense: int) -> CostCounter:
     """Cost of DTC-SpMM: the 16×1 TF32 MMA kernel."""
-    config = FlashSparseConfig(precision=Precision.TF32, swap_and_transpose=False)
+    config = _TCU16_BATCHED_CONFIG
     return spmm_tcu16_cost(matrix, n_dense, config, api="mma")
 
 
 def dtc_spmm_execute(matrix: CSRMatrix | SGT16Matrix, b: np.ndarray) -> SpmmKernelResult:
     """Execute DTC-SpMM (numerics + cost)."""
-    config = FlashSparseConfig(precision=Precision.TF32, swap_and_transpose=False)
+    config = _TCU16_BATCHED_CONFIG
     result = spmm_tcu16_execute(matrix, b, config, api="mma")
     result.kernel = "DTC-SpMM"
     result.meta["baseline"] = "DTC-SpMM"
@@ -110,7 +118,7 @@ def _tcgnn_position_check_ops(matrix: CSRMatrix | SGT16Matrix, tiles: int) -> in
 
 def tcgnn_spmm_cost(matrix: CSRMatrix | SGT16Matrix, n_dense: int) -> CostCounter:
     """Cost of TC-GNN's SpMM: 16×1 WMMA kernel plus position-check overhead."""
-    config = FlashSparseConfig(precision=Precision.TF32, swap_and_transpose=False)
+    config = _TCU16_BATCHED_CONFIG
     counter = spmm_tcu16_cost(matrix, n_dense, config, api="wmma")
     tiles = _ceil_div(int(n_dense), 16)
     counter.add_index_ops(_tcgnn_position_check_ops(matrix, tiles))
@@ -119,7 +127,7 @@ def tcgnn_spmm_cost(matrix: CSRMatrix | SGT16Matrix, n_dense: int) -> CostCounte
 
 def tcgnn_spmm_execute(matrix: CSRMatrix | SGT16Matrix, b: np.ndarray) -> SpmmKernelResult:
     """Execute TC-GNN's SpMM (numerics + cost including position checks)."""
-    config = FlashSparseConfig(precision=Precision.TF32, swap_and_transpose=False)
+    config = _TCU16_BATCHED_CONFIG
     result = spmm_tcu16_execute(matrix, b, config, api="wmma")
     tiles = _ceil_div(int(np.asarray(b).shape[1]), 16)
     result.counter.add_index_ops(_tcgnn_position_check_ops(matrix, tiles))
@@ -130,7 +138,7 @@ def tcgnn_spmm_execute(matrix: CSRMatrix | SGT16Matrix, b: np.ndarray) -> SpmmKe
 
 def tcgnn_sddmm_cost(matrix: CSRMatrix | SGT16Matrix, k_dense: int) -> CostCounter:
     """Cost of TC-GNN's SDDMM at 16×1 granularity plus position checks."""
-    config = FlashSparseConfig(precision=Precision.TF32, swap_and_transpose=False)
+    config = _TCU16_BATCHED_CONFIG
     counter = sddmm_tcu16_cost(matrix, k_dense, config)
     chunks = _ceil_div(int(k_dense), 8)
     counter.add_index_ops(_tcgnn_position_check_ops(matrix, chunks))
@@ -139,7 +147,7 @@ def tcgnn_sddmm_cost(matrix: CSRMatrix | SGT16Matrix, k_dense: int) -> CostCount
 
 def tcgnn_sddmm_execute(matrix: CSRMatrix | SGT16Matrix, a: np.ndarray, b: np.ndarray) -> SddmmKernelResult:
     """Execute TC-GNN's SDDMM (numerics + cost)."""
-    config = FlashSparseConfig(precision=Precision.TF32, swap_and_transpose=False)
+    config = _TCU16_BATCHED_CONFIG
     result = sddmm_tcu16_execute(matrix, a, b, config)
     chunks = _ceil_div(int(np.asarray(a).shape[1]), 8)
     result.counter.add_index_ops(_tcgnn_position_check_ops(matrix, chunks))

@@ -99,13 +99,21 @@ class FlashSparseMatrix:
         return self.csr.nnz
 
     # ------------------------------------------------------------- translate
-    def mebcrs(self, precision: Precision | str = Precision.FP16) -> MEBCRSMatrix:
-        """The ME-BCRS translation at ``precision`` (cached)."""
-        return cached_mebcrs(self.csr, precision)
+    def mebcrs(
+        self, precision: Precision | str = Precision.FP16, by_content: bool = False
+    ) -> MEBCRSMatrix:
+        """The ME-BCRS translation at ``precision`` (cached).
 
-    def sgt16(self, precision: Precision | str = Precision.TF32) -> SGT16Matrix:
+        ``by_content=True`` deduplicates the translation across structurally
+        equal matrices loaded as distinct objects (content-hash cache key).
+        """
+        return cached_mebcrs(self.csr, precision, by_content=by_content)
+
+    def sgt16(
+        self, precision: Precision | str = Precision.TF32, by_content: bool = False
+    ) -> SGT16Matrix:
         """The 16×1 baseline translation at ``precision`` (cached)."""
-        return cached_sgt16(self.csr, precision)
+        return cached_sgt16(self.csr, precision, by_content=by_content)
 
     def to_scipy(self) -> sp.csr_matrix:
         """Back to a scipy CSR matrix."""
@@ -191,6 +199,9 @@ def spmm(
     coalesced: bool = True,
     device: str | GPUSpec | None = None,
     engine: str = "batched",
+    block_chunk: int | None = None,
+    max_intermediate_bytes: int | None = None,
+    workers: int = 1,
 ) -> SpmmResult:
     """Sparse × dense matrix multiplication with the FlashSparse kernel.
 
@@ -214,10 +225,23 @@ def spmm(
     engine:
         ``"batched"`` (default) for the vectorized execution engine,
         ``"reference"`` for the per-block emulation loop.
+    block_chunk / max_intermediate_bytes:
+        Memory-bounded streaming: iterate the batched engine over
+        block-range slices so peak intermediate memory is O(chunk · v · N)
+        instead of O(n_blocks · v · N).  Values agree with the one-shot run
+        to FP32 round-off; the cost counter is exactly unchanged.
+    workers:
+        Shard independent chunk ranges across a thread pool (serving-scale
+        parallelism; BLAS releases the GIL).
     """
     inp = _as_input(a)
     config = FlashSparseConfig(
-        precision=Precision(precision), coalesced=coalesced, engine=engine
+        precision=Precision(precision),
+        coalesced=coalesced,
+        engine=engine,
+        block_chunk=block_chunk,
+        max_intermediate_bytes=max_intermediate_bytes,
+        workers=workers,
     )
     fmt = inp.mebcrs(config.precision)
     result = spmm_flash_execute(fmt, b, config)
@@ -240,15 +264,26 @@ def sddmm(
     scale_by_mask: bool = False,
     device: str | GPUSpec | None = None,
     engine: str = "batched",
+    block_chunk: int | None = None,
+    max_intermediate_bytes: int | None = None,
+    workers: int = 1,
 ) -> SddmmResult:
     """Sampled dense × dense matrix multiplication with the FlashSparse kernel.
 
     Computes ``out[i, j] = <a[i, :], b[j, :]>`` for every nonzero position of
     ``mask`` (optionally scaled by the mask's values).  ``engine`` selects the
-    batched execution engine (default) or the reference emulation loop.
+    batched execution engine (default) or the reference emulation loop;
+    ``block_chunk`` / ``max_intermediate_bytes`` / ``workers`` stream the
+    batched engine over memory-bounded block slices (see :func:`spmm`).
     """
     inp = _as_input(mask)
-    config = FlashSparseConfig(precision=Precision(precision), engine=engine)
+    config = FlashSparseConfig(
+        precision=Precision(precision),
+        engine=engine,
+        block_chunk=block_chunk,
+        max_intermediate_bytes=max_intermediate_bytes,
+        workers=workers,
+    )
     fmt = inp.mebcrs(config.precision)
     result = sddmm_flash_execute(fmt, a, b, config, scale_by_mask=scale_by_mask)
     spec = _resolve_device(device)

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.formats.csr import CSRMatrix
 from repro.formats.windows import WindowPartition, partition_windows
+from repro.ops import segment_ids
 from repro.precision.types import Precision, dtype_for
 
 
@@ -74,6 +75,16 @@ class BlockBatch:
     def num_blocks(self) -> int:
         """Total number of TC blocks in the batch."""
         return int(self.widths.shape[0])
+
+    @property
+    def window_offsets(self) -> np.ndarray:
+        """Indptr-style block offsets per window (``(num_windows + 1,)``).
+
+        ``window_offsets[w]:window_offsets[w + 1]`` is window ``w``'s block
+        range — the segment layout consumed by :mod:`repro.ops` when the
+        engine reduces per-block products into per-window sums.
+        """
+        return np.append(self.first_block_of_window, np.int64(self.num_blocks))
 
 
 @dataclass
@@ -134,10 +145,7 @@ class BlockedVectorFormat:
             (partition.num_nonzero_vectors, vector_size), dtype=dtype_for(precision)
         )
         if matrix.nnz:
-            row_of_entry = np.repeat(
-                np.arange(matrix.n_rows, dtype=np.int64),
-                np.diff(matrix.indptr).astype(np.int64),
-            )
+            row_of_entry = segment_ids(matrix.indptr)
             row_in_window = (row_of_entry % vector_size).astype(np.int64)
             values[partition.nnz_vector_of_entry, row_in_window] = matrix.data.astype(
                 dtype_for(precision)

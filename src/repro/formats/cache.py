@@ -16,6 +16,16 @@ an existing buffer (``matrix.data[k] = v``): that mutation returns stale
 translations until :func:`clear_format_cache` is called or a fresh CSRMatrix
 is built.  Every producer in this codebase treats CSR matrices as immutable
 after construction.
+
+Content-hash keying
+-------------------
+Passing ``by_content=True`` additionally keys the translation by
+:meth:`~repro.formats.csr.CSRMatrix.content_key` — a digest over the CSR
+arrays and shape — so two *equal* matrices loaded independently (the same
+graph deserialised twice, replicas in a serving fleet) share one
+translation.  Identity lookup stays the fast path: the O(nnz) hash runs
+only on the first identity miss of a given object, after which the object's
+identity key aliases the shared entry.
 """
 
 from __future__ import annotations
@@ -32,19 +42,40 @@ from repro.precision.types import Precision
 #: the translated format in memory, so the cap bounds the working set).
 FORMAT_CACHE_MAXSIZE = 32
 
-_cache: "OrderedDict[tuple, tuple[CSRMatrix, object]]" = OrderedDict()
+_cache: "OrderedDict[tuple, tuple[CSRMatrix | None, object]]" = OrderedDict()
 
 
-def _lookup(key: tuple, source: CSRMatrix, build: Callable[[], object]):
-    entry = _cache.get(key)
-    if entry is not None and entry[0] is source:
-        _cache.move_to_end(key)
-        return entry[1]
-    fmt = build()
+def _store(key: tuple, source: CSRMatrix | None, fmt: object) -> None:
     _cache[key] = (source, fmt)
     _cache.move_to_end(key)
     while len(_cache) > FORMAT_CACHE_MAXSIZE:
         _cache.popitem(last=False)
+
+
+def _lookup(
+    key: tuple,
+    source: CSRMatrix,
+    build: Callable[[], object],
+    content_key: tuple | None = None,
+):
+    entry = _cache.get(key)
+    if entry is not None and entry[0] is source:
+        _cache.move_to_end(key)
+        return entry[1]
+    if content_key is not None:
+        # Content entries pin no source: equality is established by the
+        # digest, not by object identity, so any equal matrix may hit.
+        entry = _cache.get(content_key)
+        if entry is not None:
+            _cache.move_to_end(content_key)
+            # Alias this object's identity key to the shared translation so
+            # its next lookup skips the hash entirely.
+            _store(key, source, entry[1])
+            return entry[1]
+    fmt = build()
+    _store(key, source, fmt)
+    if content_key is not None:
+        _store(content_key, None, fmt)
     return fmt
 
 
@@ -60,23 +91,41 @@ def _key(matrix: CSRMatrix, kind: str, precision: Precision) -> tuple:
     )
 
 
-def cached_mebcrs(matrix: CSRMatrix, precision: Precision | str) -> MEBCRSMatrix:
-    """The ME-BCRS translation of ``matrix`` at ``precision``, memoised."""
+def _content_key(matrix: CSRMatrix, kind: str, precision: Precision) -> tuple:
+    return ("content", matrix.content_key(), kind, precision)
+
+
+def cached_mebcrs(
+    matrix: CSRMatrix, precision: Precision | str, by_content: bool = False
+) -> MEBCRSMatrix:
+    """The ME-BCRS translation of ``matrix`` at ``precision``, memoised.
+
+    ``by_content=True`` lets structurally equal matrices share one
+    translation (see the module docstring); the default keys by object
+    identity only.
+    """
     precision = Precision(precision)
     return _lookup(
         _key(matrix, "mebcrs", precision),
         matrix,
         lambda: MEBCRSMatrix.from_csr(matrix, precision=precision),
+        _content_key(matrix, "mebcrs", precision) if by_content else None,
     )
 
 
-def cached_sgt16(matrix: CSRMatrix, precision: Precision | str) -> SGT16Matrix:
-    """The 16×1 SGT translation of ``matrix`` at ``precision``, memoised."""
+def cached_sgt16(
+    matrix: CSRMatrix, precision: Precision | str, by_content: bool = False
+) -> SGT16Matrix:
+    """The 16×1 SGT translation of ``matrix`` at ``precision``, memoised.
+
+    ``by_content=True`` behaves as for :func:`cached_mebcrs`.
+    """
     precision = Precision(precision)
     return _lookup(
         _key(matrix, "sgt16", precision),
         matrix,
         lambda: SGT16Matrix.from_csr(matrix, precision=precision),
+        _content_key(matrix, "sgt16", precision) if by_content else None,
     )
 
 

@@ -9,6 +9,7 @@ exact dtypes (int32 indices, value dtype chosen by precision).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -141,6 +142,27 @@ class CSRMatrix:
         return np.diff(self.indptr)
 
     # ------------------------------------------------------------- utilities
+    def content_key(self) -> str:
+        """Content fingerprint: a hex digest over the CSR arrays and shape.
+
+        Two structurally equal matrices (same shape, same ``indptr`` /
+        ``indices`` / ``data`` bytes) share one key even when they are
+        distinct objects — the handle the translation cache's ``by_content``
+        mode deduplicates on.  The digest is memoised on the instance, so
+        repeated cache lookups hash the arrays once; like the cache itself it
+        assumes the matrix is not mutated in place after construction.
+        """
+        cached = getattr(self, "_content_key", None)
+        if cached is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(f"{self.shape[0]}x{self.shape[1]}:{self.data.dtype.str}".encode())
+            digest.update(np.ascontiguousarray(self.indptr).tobytes())
+            digest.update(np.ascontiguousarray(self.indices).tobytes())
+            digest.update(np.ascontiguousarray(self.data).tobytes())
+            cached = digest.hexdigest()
+            self._content_key = cached
+        return cached
+
     def memory_footprint_bytes(self, value_bytes: int = 4, index_bytes: int = 4) -> int:
         """Bytes needed to store the CSR arrays."""
         return int(

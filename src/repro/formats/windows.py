@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.formats.csr import CSRMatrix
+from repro.ops import segment_ids
 
 
 @dataclass
@@ -153,9 +154,7 @@ def partition_windows(matrix: CSRMatrix, vector_size: int) -> WindowPartition:
         )
 
     # Row index of every nonzero, derived from indptr.
-    row_of_entry = np.repeat(
-        np.arange(n_rows, dtype=np.int64), np.diff(matrix.indptr).astype(np.int64)
-    )
+    row_of_entry = segment_ids(matrix.indptr)
     window_of_entry = row_of_entry // vector_size
     cols = matrix.indices.astype(np.int64)
 

@@ -32,8 +32,13 @@ from repro.gpu.device import GPUSpec
 from repro.kernels.common import FlashSparseConfig
 from repro.kernels.sddmm_flash import FLASH_SDDMM_PROFILE, sddmm_flash_cost
 from repro.kernels.spmm_flash import FLASH_SPMM_PROFILE, spmm_flash_cost
+from repro.ops import segment_ids, segment_softmax, segment_softmax_backward
 from repro.perfmodel.model import KernelProfile, estimate_time
 from repro.precision.types import Precision, quantize
+
+#: Edge-softmax implementations a backend can run: the vectorized segment
+#: ops (default) or the per-row oracle loops the parity tests check against.
+EDGE_SOFTMAX_IMPLS: tuple[str, ...] = ("vectorized", "reference")
 
 #: Names accepted by :func:`make_backend`.
 BACKEND_NAMES: tuple[str, ...] = (
@@ -67,6 +72,9 @@ class SparseBackend:
     _spmm_profile: KernelProfile = field(repr=False, default=None)
     _sddmm_profile: KernelProfile = field(repr=False, default=None)
     stats: OpStats = field(default_factory=OpStats)
+    #: Which edge-softmax path to run; "reference" keeps the per-row loops
+    #: alive as the oracle for parity tests and the epoch benchmark.
+    edge_softmax_impl: str = "vectorized"
     #: Memoised kernel-time estimates keyed by (op, dense width, device spec).
     #: The adjacency is static during training, so each (op, width, device)
     #: combination is priced exactly once per run instead of once per epoch;
@@ -75,14 +83,12 @@ class SparseBackend:
     _time_cache: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
+        self._resolved_edge_softmax_impl()
         csr = self.adjacency.to_scipy().astype(np.float32)
         csr.sort_indices()
         self._csr = csr
         self._csr_t = csr.T.tocsr()
-        self._rows = np.repeat(
-            np.arange(self.adjacency.n_rows, dtype=np.int64),
-            np.diff(self.adjacency.indptr).astype(np.int64),
-        )
+        self._rows = segment_ids(self.adjacency.indptr)
         self._cols = self.adjacency.indices.astype(np.int64)
 
     # ----------------------------------------------------------- numerics
@@ -142,8 +148,43 @@ class SparseBackend:
         return grad_a, grad_b
 
     def edge_softmax_forward(self, logits: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Row-wise softmax over edge values; returns (softmax, cache)."""
+        """Row-wise softmax over edge values; returns (softmax, cache).
+
+        The default path is one vectorized :func:`repro.ops.segment_softmax`
+        over the adjacency's ``indptr`` segments; ``edge_softmax_impl=
+        "reference"`` runs the per-row oracle loop instead.
+        """
         self.stats.edge_softmax_calls += 1
+        if self._resolved_edge_softmax_impl() == "reference":
+            out32 = self.reference_edge_softmax_forward(logits)
+        else:
+            out32 = segment_softmax(
+                np.asarray(logits, dtype=np.float64), self.adjacency.indptr
+            )
+        return out32, out32
+
+    def edge_softmax_backward(self, softmax: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        """Backward of the row-wise softmax (vectorized segment reduction)."""
+        if self._resolved_edge_softmax_impl() == "reference":
+            return self.reference_edge_softmax_backward(softmax, grad_out)
+        return segment_softmax_backward(softmax, grad_out, self.adjacency.indptr)
+
+    def _resolved_edge_softmax_impl(self) -> str:
+        # Re-validated at dispatch, not just in __post_init__: the knob is
+        # normally set by attribute assignment after make_backend(), and a
+        # typo there must not silently fall back to the vectorized path.
+        if self.edge_softmax_impl not in EDGE_SOFTMAX_IMPLS:
+            raise ValueError(
+                f"edge_softmax_impl must be one of {EDGE_SOFTMAX_IMPLS}, "
+                f"got {self.edge_softmax_impl!r}"
+            )
+        return self.edge_softmax_impl
+
+    # The per-row loops below are the oracle the vectorized paths are tested
+    # against (and what `edge_softmax_impl="reference"` runs): float64 per-row
+    # softmax, float32 per-row backward, empty rows skipped.
+    def reference_edge_softmax_forward(self, logits: np.ndarray) -> np.ndarray:
+        """Per-row oracle for :meth:`edge_softmax_forward`."""
         logits = np.asarray(logits, dtype=np.float64)
         indptr = self.adjacency.indptr
         out = np.zeros_like(logits, dtype=np.float64)
@@ -155,11 +196,12 @@ class SparseBackend:
             seg = seg - seg.max()
             e = np.exp(seg)
             out[lo:hi] = e / e.sum()
-        out32 = out.astype(np.float32)
-        return out32, out32
+        return out.astype(np.float32)
 
-    def edge_softmax_backward(self, softmax: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
-        """Backward of the row-wise softmax."""
+    def reference_edge_softmax_backward(
+        self, softmax: np.ndarray, grad_out: np.ndarray
+    ) -> np.ndarray:
+        """Per-row oracle for :meth:`edge_softmax_backward`."""
         indptr = self.adjacency.indptr
         grad = np.zeros_like(softmax, dtype=np.float32)
         for r in range(self.adjacency.n_rows):

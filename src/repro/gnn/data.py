@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.datasets.generators import block_community_matrix
 from repro.formats.csr import CSRMatrix
+from repro.ops import segment_ids, segment_sum
 from repro.utils.random import default_rng
 
 
@@ -54,14 +55,16 @@ class NodeClassificationDataset:
             import scipy.sparse as sp
 
             a = a + sp.eye(a.shape[0], format="csr")
-        deg = np.asarray(a.sum(axis=1)).ravel()
+        # Node degrees are one row-segment sum over the CSR values.
+        deg = segment_sum(a.data, a.indptr, accumulate="fp64")
         inv_sqrt = np.zeros_like(deg)
         nonzero = deg > 0
         inv_sqrt[nonzero] = 1.0 / np.sqrt(deg[nonzero])
-        import scipy.sparse as sp
-
-        d = sp.diags(inv_sqrt)
-        return CSRMatrix.from_scipy(d @ a @ d)
+        # D^-1/2 A D^-1/2 scales entry (i, j) by inv_sqrt[i] * inv_sqrt[j];
+        # rows expand through segment_ids, columns index directly.
+        scaled = a.copy()
+        scaled.data = a.data * inv_sqrt[segment_ids(a.indptr)] * inv_sqrt[a.indices]
+        return CSRMatrix.from_scipy(scaled)
 
 
 @dataclass(frozen=True)

@@ -12,13 +12,31 @@ replaces the whole loop nest with
 2. one batched matmul over all blocks (the zero-padded lanes of narrow
    residue blocks contribute exactly the zero register values the loop path
    feeds its MMAs), and
-3. a segment reduction (``np.add.reduceat`` over the window boundaries) plus
-   one scatter into the output.
+3. a segment reduction (:func:`repro.ops.segment_sum` over the window
+   block offsets) plus one scatter into the output.
+
+Memory-bounded streaming
+------------------------
+The one-shot SpMM path materialises an ``(n_blocks, vector_size, N)``
+product (plus an equally shaped gather of B rows), which blows up on large
+graphs × wide dense operands.  Passing ``block_chunk`` (a block count) or
+``max_intermediate_bytes`` (a byte budget the chunk size is derived from)
+streams the batch in block-range slices instead: each slice is multiplied,
+reduced per window with :func:`repro.ops.segment_sum_runs`, and accumulated
+into the output, so peak intermediate memory is O(chunk · v · N) while the
+result stays within FP32 round-off of the one-shot run (a window whose
+blocks span a chunk boundary is summed incrementally, which re-associates
+the FP32 additions).  ``workers=K`` additionally shards independent chunk
+ranges across a thread pool — the ranges are aligned to window boundaries
+so no two workers touch the same output rows, and NumPy's BLAS matmuls
+release the GIL, so the shards genuinely overlap.
 
 Only the numerics live here.  Cost accounting is closed-form over the
 block-width histogram and stays with each kernel's ``*_cost`` function,
 which produces bit-identical counter state to the reference loop (the parity
-tests assert exact ``CostCounter`` equality and value agreement).
+tests assert exact ``CostCounter`` equality and value agreement) — and, by
+construction, counter state that is *exactly* independent of the chunking
+and worker knobs.
 
 The engine is quantisation-faithful: the sparse values are re-quantised to
 the target precision exactly where :func:`repro.gpu.mma.mma_execute` would
@@ -31,18 +49,83 @@ to FP32 round-off, not bit-exactly.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 
-from repro.formats.blocked import BlockedVectorFormat
+from repro.formats.blocked import BlockBatch, BlockedVectorFormat
+from repro.ops import segment_sum, segment_sum_runs
 from repro.precision.types import Precision, quantize
+
+
+def resolve_block_chunk(
+    num_blocks: int,
+    bytes_per_block: int,
+    block_chunk: int | None,
+    max_intermediate_bytes: int | None,
+    workers: int = 1,
+) -> int:
+    """Blocks per streaming slice; ``num_blocks`` means the one-shot path.
+
+    An explicit ``block_chunk`` wins; otherwise ``max_intermediate_bytes``
+    is divided by the per-block intermediate footprint (never below one
+    block — the floor under which no streaming granularity exists).  The
+    byte budget covers the whole run: with ``workers`` threads each holding
+    one chunk's intermediates concurrently, the per-chunk share is
+    ``budget / workers``.
+    """
+    if block_chunk is not None:
+        return max(1, int(block_chunk))
+    if max_intermediate_bytes is not None:
+        per_chunk_budget = int(max_intermediate_bytes) // max(1, int(workers))
+        return max(1, per_chunk_budget // max(1, int(bytes_per_block)))
+    return max(1, num_blocks)
+
+
+def _worker_ranges(
+    window_offsets: np.ndarray, num_blocks: int, workers: int
+) -> list[tuple[int, int]]:
+    """Split ``[0, num_blocks)`` into ≤ ``workers`` window-aligned shards.
+
+    Shard boundaries snap to window starts so every window's blocks live in
+    exactly one shard — the property that makes concurrent output writes
+    race-free (each shard owns a disjoint set of output rows / vectors).
+    """
+    workers = max(1, int(workers))
+    if workers == 1 or num_blocks == 0:
+        return [(0, num_blocks)]
+    bounds = [0]
+    for i in range(1, workers):
+        target = (i * num_blocks) // workers
+        snapped = int(
+            window_offsets[np.searchsorted(window_offsets, target, side="left")]
+        )
+        if bounds[-1] < snapped < num_blocks:
+            bounds.append(snapped)
+    bounds.append(num_blocks)
+    return list(zip(bounds[:-1], bounds[1:]))
+
+
+def _run_sharded(ranges: list[tuple[int, int]], body, workers: int) -> None:
+    """Run ``body(lo, hi)`` over block ranges, threaded when it pays off."""
+    if len(ranges) == 1 or workers <= 1:
+        for lo, hi in ranges:
+            body(lo, hi)
+        return
+    with ThreadPoolExecutor(max_workers=min(workers, len(ranges))) as pool:
+        # list() re-raises the first worker exception instead of swallowing it.
+        list(pool.map(lambda r: body(*r), ranges))
 
 
 def spmm_batched(
     fmt: BlockedVectorFormat,
     b_q: np.ndarray,
     precision: Precision,
+    block_chunk: int | None = None,
+    max_intermediate_bytes: int | None = None,
+    workers: int = 1,
 ) -> np.ndarray:
-    """Numeric result of ``C = A @ B`` over the whole block batch at once.
+    """Numeric result of ``C = A @ B`` over the whole block batch.
 
     Parameters
     ----------
@@ -55,28 +138,56 @@ def spmm_batched(
         ``(fmt.shape[1], N)``.
     precision:
         Target precision; the stored sparse values are re-quantised to it.
+    block_chunk, max_intermediate_bytes, workers:
+        Memory-bounded streaming knobs (see the module docstring).  The
+        defaults reproduce the one-shot batched path.
     """
     v = fmt.vector_size
     n_rows = fmt.shape[0]
     n_dense = b_q.shape[1]
     out = np.zeros((n_rows, n_dense), dtype=np.float32)
     batch = fmt.blocks_as_arrays()
-    if batch.num_blocks == 0 or n_dense == 0:
+    n_blocks = batch.num_blocks
+    if n_blocks == 0 or n_dense == 0:
         return out
 
-    a_q = quantize(batch.values, precision).astype(np.float32)
-    gathered = b_q[batch.columns]  # (n_blocks, k, N); padded lanes hit row 0,
-    # which is harmless because the matching A lanes are exactly zero.
-    prod = a_q @ gathered  # batched matmul, (n_blocks, v, N)
+    # Per-block intermediate footprint: the (v, N) product slab plus the
+    # (k, N) gathered B rows, both float32.
+    bytes_per_block = (v + batch.group) * n_dense * 4
+    chunk = resolve_block_chunk(
+        n_blocks, bytes_per_block, block_chunk, max_intermediate_bytes, workers
+    )
 
-    nonempty = np.nonzero(batch.blocks_per_window > 0)[0]
-    seg_starts = batch.first_block_of_window[nonempty]
-    win_sums = np.add.reduceat(prod, seg_starts, axis=0)  # (n_nonempty, v, N)
+    if chunk >= n_blocks and workers <= 1:
+        a_q = quantize(batch.values, precision).astype(np.float32)
+        gathered = b_q[batch.columns]  # (n_blocks, k, N); padded lanes hit row 0,
+        # which is harmless because the matching A lanes are exactly zero.
+        prod = a_q @ gathered  # batched matmul, (n_blocks, v, N)
+        win_sums = segment_sum(prod, batch.window_offsets)  # (num_windows, v, N)
+        # Window w's sums are rows w*v .. w*v + v - 1 of C; the reshape lays
+        # them out contiguously and the slice drops the partial last window's
+        # out-of-range rows.
+        out[:] = win_sums.reshape(-1, n_dense)[:n_rows]
+        return out
 
-    out_rows = (nonempty[:, None] * v + np.arange(v)[None, :]).reshape(-1)
-    flat = win_sums.reshape(-1, n_dense)
-    keep = out_rows < n_rows
-    out[out_rows[keep]] = flat[keep]
+    def body(lo: int, hi: int) -> None:
+        for c_lo in range(lo, hi, chunk):
+            c_hi = min(c_lo + chunk, hi)
+            a_q = quantize(batch.values[c_lo:c_hi], precision).astype(np.float32)
+            prod = a_q @ b_q[batch.columns[c_lo:c_hi]]
+            run_windows, run_sums = segment_sum_runs(
+                prod, batch.window_of_block[c_lo:c_hi]
+            )
+            rows = (run_windows[:, None] * v + np.arange(v)[None, :]).reshape(-1)
+            flat = run_sums.reshape(-1, n_dense)
+            keep = rows < n_rows
+            # += (not =): a window split across chunk boundaries accumulates
+            # its partial sums; each window lives in exactly one shard, so
+            # no two workers ever touch the same rows.
+            out[rows[keep]] += flat[keep]
+
+    ranges = _worker_ranges(batch.window_offsets, n_blocks, workers)
+    _run_sharded(ranges, body, workers)
     return out
 
 
@@ -87,8 +198,11 @@ def sddmm_batched(
     precision: Precision,
     group: int,
     scale_by_mask: bool = False,
+    block_chunk: int | None = None,
+    max_intermediate_bytes: int | None = None,
+    workers: int = 1,
 ) -> np.ndarray:
-    """Numeric SDDMM output values over the whole output-block batch at once.
+    """Numeric SDDMM output values over the whole output-block batch.
 
     Parameters
     ----------
@@ -105,6 +219,11 @@ def sddmm_batched(
         swap-and-transpose kernel, 8 for the 16×1 baseline).
     scale_by_mask:
         Multiply each sampled dot product by the mask's stored value.
+    block_chunk, max_intermediate_bytes, workers:
+        Memory-bounded streaming knobs (see the module docstring).  SDDMM
+        output blocks are independent, so chunked and sharded runs are
+        bit-identical to the one-shot run (every nonzero vector is written
+        by exactly one block).
 
     Returns
     -------
@@ -117,21 +236,38 @@ def sddmm_batched(
     k_dense = a_q.shape[1]
     out_values = np.zeros(fmt.vector_values.shape, dtype=np.float32)
     batch = fmt.blocks_as_arrays(group)
-    if batch.num_blocks == 0 or k_dense == 0:
+    n_blocks = batch.num_blocks
+    if n_blocks == 0 or k_dense == 0:
         return out_values
 
     a_pad = np.zeros((fmt.num_windows * v, k_dense), dtype=np.float32)
     a_pad[:n_rows] = a_q
     a_win = a_pad.reshape(fmt.num_windows, v, k_dense)
-    a_blocks = a_win[batch.window_of_block]  # (n_blocks, v, K)
-    b_blocks = b_q[batch.columns]  # (n_blocks, group, K)
-    acc = a_blocks @ b_blocks.transpose(0, 2, 1)  # (n_blocks, v, group)
 
-    pattern = batch.values != 0.0
-    sampled = np.where(pattern, acc, 0.0)
-    if scale_by_mask:
-        sampled = sampled * batch.values
-    # Scatter each valid lane's column back to its nonzero vector.
-    lanes = batch.lane_valid
-    out_values[batch.vector_index[lanes]] = sampled.transpose(0, 2, 1)[lanes]
+    # Per-block intermediate footprint: the gathered A window (v, K) and
+    # B rows (group, K) plus the (v, group) accumulator, all float32.
+    bytes_per_block = ((v + group) * k_dense + v * group) * 4
+    chunk = resolve_block_chunk(
+        n_blocks, bytes_per_block, block_chunk, max_intermediate_bytes, workers
+    )
+
+    def body(lo: int, hi: int) -> None:
+        for c_lo in range(lo, hi, chunk):
+            c_hi = min(c_lo + chunk, hi)
+            a_blocks = a_win[batch.window_of_block[c_lo:c_hi]]  # (chunk, v, K)
+            b_blocks = b_q[batch.columns[c_lo:c_hi]]  # (chunk, group, K)
+            acc = a_blocks @ b_blocks.transpose(0, 2, 1)  # (chunk, v, group)
+
+            values = batch.values[c_lo:c_hi]
+            sampled = np.where(values != 0.0, acc, 0.0)
+            if scale_by_mask:
+                sampled = sampled * values
+            # Scatter each valid lane's column back to its nonzero vector;
+            # every vector belongs to exactly one block, so the writes of
+            # distinct chunks (and shards) are disjoint.
+            lanes = batch.lane_valid[c_lo:c_hi]
+            out_values[batch.vector_index[c_lo:c_hi][lanes]] = sampled.transpose(0, 2, 1)[lanes]
+
+    ranges = _worker_ranges(batch.window_offsets, n_blocks, workers)
+    _run_sharded(ranges, body, workers)
     return out_values

@@ -99,7 +99,13 @@ def sddmm_tcu16_execute(
     b_q = quantize(b, precision).astype(np.float32)
     if config.engine == "batched" and k_dense > 0:
         out_values = sddmm_batched(
-            fmt, a_q, b_q, precision, VECTORS_PER_OUTPUT_BLOCK, scale_by_mask=scale_by_mask
+            fmt,
+            a_q,
+            b_q,
+            precision,
+            VECTORS_PER_OUTPUT_BLOCK,
+            scale_by_mask=scale_by_mask,
+            **config.engine_stream_kwargs,
         )
         counter = sddmm_tcu16_cost(fmt, k_dense, config)
     else:
