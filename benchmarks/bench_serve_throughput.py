@@ -1,0 +1,182 @@
+"""Serving throughput benchmark — 1 vs N worker processes, closed loop.
+
+A closed-loop load generator (each client thread submits its next request
+as soon as the previous one resolves — the standard way to measure a
+serving system without open-loop queue explosion) drives a
+:class:`repro.serve.Server` with a mixed SpMM / SDDMM request stream over a
+shared graph.  Measured per configuration:
+
+* sustained requests/second (wall-clock over the whole run), and
+* p50 / p95 request latency from the server's own metrics.
+
+It doubles as the multi-process scaling gate: with at least 2 CPUs, the
+N-worker server must sustain ≥ 1.5× the single-worker throughput (the
+modest bar a sharded pool has to clear over inline execution after paying
+shared-memory setup and shard pickling).  On a single-CPU runner the gate
+is skipped — there is nothing to scale onto.
+
+Run standalone (``python benchmarks/bench_serve_throughput.py``) or through
+pytest.
+"""
+
+from __future__ import annotations
+
+import os
+
+# Pin BLAS to one thread per process *before* NumPy loads: the benchmark
+# measures process-level sharding, and oversubscribed BLAS threads in every
+# worker would turn the comparison into scheduler noise.
+for _var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS"):
+    os.environ.setdefault(_var, "1")
+
+import threading
+import time
+
+import numpy as np
+
+from repro.datasets.generators import power_law_matrix
+from repro.serve import Server
+
+#: Shared request matrix: ~120k-edge power-law graph (big enough that one
+#: engine pass dwarfs dispatch and shared-memory overhead).
+NUM_NODES = 3000
+AVG_ROW_LENGTH = 40
+#: Dense operand widths of the request mix.
+SPMM_WIDTH = 96
+SDDMM_K = 64
+#: Closed-loop clients and requests per configuration.
+CLIENTS = 4
+REQUESTS = 48
+#: SpMM share of the stream (the rest is SDDMM), interleaved per request.
+SPMM_EVERY = 3  # request i is SDDMM when i % SPMM_EVERY == 0
+#: Scaling gate: N-worker throughput over single-worker, on >= 2 CPUs.
+MIN_SCALING = 1.5
+
+
+def _workload():
+    csr = power_law_matrix(NUM_NODES, avg_row_length=AVG_ROW_LENGTH, seed=11)
+    rng = np.random.default_rng(11)
+    b_spmm = rng.standard_normal((NUM_NODES, SPMM_WIDTH)).astype(np.float32)
+    a_sddmm = rng.standard_normal((NUM_NODES, SDDMM_K)).astype(np.float32)
+    b_sddmm = rng.standard_normal((NUM_NODES, SDDMM_K)).astype(np.float32)
+    return csr, b_spmm, a_sddmm, b_sddmm
+
+
+def _drive(server: Server, csr, b_spmm, a_sddmm, b_sddmm, requests: int) -> float:
+    """Closed loop: CLIENTS threads, ``requests`` total; returns wall time."""
+    counter = {"next": 0}
+    lock = threading.Lock()
+
+    def client() -> None:
+        while True:
+            with lock:
+                i = counter["next"]
+                if i >= requests:
+                    return
+                counter["next"] = i + 1
+            if i % SPMM_EVERY == 0:
+                server.submit_sddmm(csr, a_sddmm, b_sddmm).result(300)
+            else:
+                server.submit_spmm(csr, b_spmm).result(300)
+
+    threads = [threading.Thread(target=client) for _ in range(CLIENTS)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return time.perf_counter() - t0
+
+
+def _measure(workers: int, csr, b_spmm, a_sddmm, b_sddmm) -> dict:
+    with Server(device="rtx4090", workers=workers) as server:
+        # Warm: translation, block-batch packing, worker pool fork.
+        server.submit_spmm(csr, b_spmm).result(300)
+        server.submit_sddmm(csr, a_sddmm, b_sddmm).result(300)
+        server.metrics.reset_cache_baseline()
+        elapsed = _drive(server, csr, b_spmm, a_sddmm, b_sddmm, REQUESTS)
+        snap = server.snapshot()
+    return {
+        "workers": workers,
+        "rps": REQUESTS / elapsed,
+        "p50_ms": snap.latency_p50_s * 1e3,
+        "p95_ms": snap.latency_p95_s * 1e3,
+        "coalesced": snap.requests_coalesced,
+        "cache_hit_rate": snap.cache.hit_rate,
+    }
+
+
+def run_serve_throughput():
+    """Rows of (config, req/s, p50 ms, p95 ms, coalesced)."""
+    csr, b_spmm, a_sddmm, b_sddmm = _workload()
+    n_workers = min(4, os.cpu_count() or 1)
+    single = _measure(1, csr, b_spmm, a_sddmm, b_sddmm)
+    rows = [
+        ["1 worker (inline)", single["rps"], single["p50_ms"], single["p95_ms"], single["coalesced"]],
+    ]
+    if n_workers > 1:
+        multi = _measure(n_workers, csr, b_spmm, a_sddmm, b_sddmm)
+        rows.append(
+            [
+                f"{n_workers} workers (process pool)",
+                multi["rps"],
+                multi["p50_ms"],
+                multi["p95_ms"],
+                multi["coalesced"],
+            ]
+        )
+        rows.append(
+            ["scaling (multi / single)", multi["rps"] / single["rps"], 0.0, 0.0, 0]
+        )
+    return rows
+
+
+def _emit(rows) -> None:
+    from bench_common import emit_table
+
+    emit_table(
+        "serve_throughput",
+        ["Configuration", "Requests/s", "p50 (ms)", "p95 (ms)", "Coalesced"],
+        rows,
+        title="repro.serve closed-loop throughput: mixed SpMM/SDDMM stream, "
+        f"{CLIENTS} clients, {REQUESTS} requests",
+    )
+
+
+def _check(rows) -> None:
+    cpus = os.cpu_count() or 1
+    if cpus < 2 or len(rows) < 3:
+        print(f"SKIP scaling gate: {cpus} CPU(s) available, need >= 2")
+        return
+    scaling = rows[-1][1]
+    assert scaling >= MIN_SCALING, (
+        f"multi-process serving scaling regressed: {scaling:.2f}x < "
+        f"{MIN_SCALING}x single-worker throughput on {cpus} CPUs"
+    )
+
+
+try:  # the `benchmark` fixture only exists with the plugin installed
+    import pytest_benchmark  # noqa: F401
+
+    def test_serve_throughput(benchmark):
+        rows = benchmark.pedantic(run_serve_throughput, rounds=1, iterations=1)
+        _emit(rows)
+        _check(rows)
+
+except ImportError:
+
+    def test_serve_throughput():
+        rows = run_serve_throughput()
+        _emit(rows)
+        _check(rows)
+
+
+if __name__ == "__main__":
+    result_rows = run_serve_throughput()
+    try:
+        _emit(result_rows)
+    except ImportError:  # standalone invocation without the harness on sys.path
+        for row in result_rows:
+            print(f"{row[0]:>28}: {row[1]:8.2f} req/s  p50 {row[2]:.1f} ms  p95 {row[3]:.1f} ms")
+    _check(result_rows)
+    print("OK: serving throughput benchmark complete")

@@ -24,6 +24,7 @@ True
 
 from repro.core.api import (
     FlashSparseMatrix,
+    start_server,
     spmm,
     sddmm,
     SpmmResult,
@@ -34,6 +35,7 @@ from repro.core.version import __version__
 
 __all__ = [
     "FlashSparseMatrix",
+    "start_server",
     "spmm",
     "sddmm",
     "SpmmResult",

@@ -119,6 +119,35 @@ class FlashSparseMatrix:
         """Back to a scipy CSR matrix."""
         return self.csr.to_scipy()
 
+    # --------------------------------------------------------------- serving
+    def content_key(self) -> str:
+        """Content fingerprint of the underlying CSR (the serving subsystem's
+        batching and translation-dedup handle)."""
+        return self.csr.content_key()
+
+    def plan(
+        self,
+        n_dense: int,
+        op: str = "spmm",
+        device: str | GPUSpec | None = None,
+        precision: Precision | str = Precision.FP16,
+        **kwargs,
+    ):
+        """Derive a :class:`~repro.serve.planner.ServePlan` for this matrix.
+
+        ``op`` selects :func:`~repro.serve.planner.plan_spmm` (``n_dense``
+        is the dense width N) or :func:`~repro.serve.planner.plan_sddmm`
+        (``n_dense`` is the inner dimension K); extra keyword arguments are
+        forwarded to the planner.
+        """
+        from repro.serve.planner import plan_sddmm, plan_spmm
+
+        if op == "spmm":
+            return plan_spmm(self.csr, n_dense, device=device, precision=precision, **kwargs)
+        if op == "sddmm":
+            return plan_sddmm(self.csr, n_dense, device=device, precision=precision, **kwargs)
+        raise ValueError(f"op must be 'spmm' or 'sddmm', got {op!r}")
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"FlashSparseMatrix(shape={self.shape}, nnz={self.nnz})"
 
@@ -192,6 +221,24 @@ def _as_input(matrix) -> FlashSparseMatrix:
     )
 
 
+def _apply_plan(
+    plan,
+    block_chunk: int | None,
+    max_intermediate_bytes: int | None,
+    workers: int | None,
+) -> tuple[int | None, int | None, int]:
+    """Fill unset (``None``) streaming knobs from a :class:`ServePlan`;
+    explicit caller values — including ``workers=1`` — always win."""
+    if plan is not None:
+        if block_chunk is None:
+            block_chunk = plan.block_chunk
+        if max_intermediate_bytes is None:
+            max_intermediate_bytes = plan.max_intermediate_bytes
+        if workers is None:
+            workers = plan.workers
+    return block_chunk, max_intermediate_bytes, 1 if workers is None else workers
+
+
 def spmm(
     a,
     b: np.ndarray,
@@ -201,7 +248,8 @@ def spmm(
     engine: str = "batched",
     block_chunk: int | None = None,
     max_intermediate_bytes: int | None = None,
-    workers: int = 1,
+    workers: int | None = None,
+    plan=None,
 ) -> SpmmResult:
     """Sparse × dense matrix multiplication with the FlashSparse kernel.
 
@@ -232,9 +280,18 @@ def spmm(
         to FP32 round-off; the cost counter is exactly unchanged.
     workers:
         Shard independent chunk ranges across a thread pool (serving-scale
-        parallelism; BLAS releases the GIL).
+        parallelism; BLAS releases the GIL).  ``None`` (default) means one
+        thread unless a ``plan`` supplies a worker count.
+    plan:
+        A :class:`~repro.serve.planner.ServePlan` whose derived knobs fill
+        any of ``block_chunk`` / ``max_intermediate_bytes`` / ``workers``
+        the caller left unset — the budget-driven alternative to picking
+        them by hand (see :func:`repro.serve.planner.plan_spmm`).
     """
     inp = _as_input(a)
+    block_chunk, max_intermediate_bytes, workers = _apply_plan(
+        plan, block_chunk, max_intermediate_bytes, workers
+    )
     config = FlashSparseConfig(
         precision=Precision(precision),
         coalesced=coalesced,
@@ -266,7 +323,8 @@ def sddmm(
     engine: str = "batched",
     block_chunk: int | None = None,
     max_intermediate_bytes: int | None = None,
-    workers: int = 1,
+    workers: int | None = None,
+    plan=None,
 ) -> SddmmResult:
     """Sampled dense × dense matrix multiplication with the FlashSparse kernel.
 
@@ -274,9 +332,14 @@ def sddmm(
     ``mask`` (optionally scaled by the mask's values).  ``engine`` selects the
     batched execution engine (default) or the reference emulation loop;
     ``block_chunk`` / ``max_intermediate_bytes`` / ``workers`` stream the
-    batched engine over memory-bounded block slices (see :func:`spmm`).
+    batched engine over memory-bounded block slices (see :func:`spmm`), and
+    ``plan`` fills unset knobs from a derived
+    :class:`~repro.serve.planner.ServePlan`.
     """
     inp = _as_input(mask)
+    block_chunk, max_intermediate_bytes, workers = _apply_plan(
+        plan, block_chunk, max_intermediate_bytes, workers
+    )
     config = FlashSparseConfig(
         precision=Precision(precision),
         engine=engine,
@@ -318,3 +381,32 @@ def sddmm_cost(
     inp = _as_input(mask)
     config = FlashSparseConfig(precision=Precision(precision))
     return sddmm_flash_cost(inp.mebcrs(config.precision), k_dense, config)
+
+
+def start_server(
+    device: str | GPUSpec | None = None,
+    precision: Precision | str = Precision.FP16,
+    workers: int | None = None,
+    **kwargs,
+):
+    """Start a :class:`~repro.serve.server.Server` for this process.
+
+    (Named ``start_server`` rather than ``serve`` because ``repro.serve``
+    is the subsystem package — a same-named function on the package would
+    be shadowed by the submodule binding on first import.)
+
+    The returned server accepts concurrent :meth:`submit_spmm` /
+    :meth:`submit_sddmm` calls, batches same-matrix requests, plans memory
+    budgets from ``device`` and shards execution across ``workers``
+    processes.  Use it as a context manager::
+
+        with repro.start_server(device="rtx4090", workers=4) as server:
+            fut = server.submit_spmm(matrix, b)
+            result = fut.result()
+        print(server.snapshot().latency_p95_s)
+
+    Extra keyword arguments are forwarded to the ``Server`` constructor.
+    """
+    from repro.serve.server import Server
+
+    return Server(device=device, precision=precision, workers=workers, **kwargs)

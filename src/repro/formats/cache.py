@@ -3,11 +3,11 @@
 The kernel entry points accept plain CSR matrices and translate them on the
 fly (the paper's preprocessing kernel).  Call sites that sweep the same
 matrix repeatedly — GNN training loops estimating per-epoch kernel times,
-benchmark sweeps over dense widths/devices — would otherwise re-run the
-translation on every call.  This module memoises the translations keyed by
-the *identity* of the CSR object: each cache entry keeps a strong reference
-to its source matrix, so a key can never alias a different matrix whose id
-was recycled.
+benchmark sweeps over dense widths/devices, serving frontends replaying the
+same graph for every request — would otherwise re-run the translation on
+every call.  This module memoises the translations keyed by the *identity*
+of the CSR object: each cache entry keeps a strong reference to its source
+matrix, so a key can never alias a different matrix whose id was recycled.
 
 The key also fingerprints the three CSR array buffers (their base addresses
 and nnz), so rebinding ``matrix.data``/``indices``/``indptr`` to new arrays
@@ -25,12 +25,23 @@ arrays and shape — so two *equal* matrices loaded independently (the same
 graph deserialised twice, replicas in a serving fleet) share one
 translation.  Identity lookup stays the fast path: the O(nnz) hash runs
 only on the first identity miss of a given object, after which the object's
-identity key aliases the shared entry.
+identity key aliases the shared entry.  The serving subsystem
+(:mod:`repro.serve`) keys by content by default — request payloads are
+deserialised fresh per request, so identity keys would never hit.
+
+Observability
+-------------
+The cache counts hits, misses and evictions (:meth:`TranslationCache.stats`,
+also reachable via the module-level :func:`format_cache_stats`); the serving
+metrics (:mod:`repro.serve.metrics`) snapshot these counters per interval to
+report translation-dedup effectiveness.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from dataclasses import dataclass
+from threading import RLock
 from typing import Callable
 
 from repro.formats.csr import CSRMatrix
@@ -42,41 +53,125 @@ from repro.precision.types import Precision
 #: the translated format in memory, so the cap bounds the working set).
 FORMAT_CACHE_MAXSIZE = 32
 
-_cache: "OrderedDict[tuple, tuple[CSRMatrix | None, object]]" = OrderedDict()
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counter snapshot of a :class:`TranslationCache`.
+
+    ``hits`` counts lookups served without running a translation (identity
+    hits plus content hits); ``content_hits`` is the subset that was
+    deduplicated across distinct-but-equal matrices via the content digest.
+    ``misses`` counts translations actually built, ``evictions`` the entries
+    dropped by the LRU cap.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    content_hits: int = 0
+    size: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (1.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 1.0
 
 
-def _store(key: tuple, source: CSRMatrix | None, fmt: object) -> None:
-    _cache[key] = (source, fmt)
-    _cache.move_to_end(key)
-    while len(_cache) > FORMAT_CACHE_MAXSIZE:
-        _cache.popitem(last=False)
+class TranslationCache:
+    """LRU of CSR → blocked-format translations with hit/miss accounting.
+
+    A module-level default instance backs the ``cached_*`` functions; the
+    class is separate so tests (and a future per-server cache) can hold an
+    isolated instance.  All operations take the instance lock — the serving
+    frontend looks up translations from its dispatch thread while clients
+    submit from theirs.
+    """
+
+    def __init__(self, maxsize: int = FORMAT_CACHE_MAXSIZE):
+        self.maxsize = int(maxsize)
+        self._cache: "OrderedDict[tuple, tuple[CSRMatrix | None, object]]" = OrderedDict()
+        self._lock = RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._content_hits = 0
+
+    # ------------------------------------------------------------- internals
+    def _store(self, key: tuple, source: CSRMatrix | None, fmt: object) -> None:
+        self._cache[key] = (source, fmt)
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.maxsize:
+            self._cache.popitem(last=False)
+            self._evictions += 1
+
+    def lookup(
+        self,
+        key: tuple,
+        source: CSRMatrix,
+        build: Callable[[], object],
+        content_key: tuple | None = None,
+    ):
+        """Return the cached translation for ``key``, building it on a miss."""
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is not None and entry[0] is source:
+                self._cache.move_to_end(key)
+                self._hits += 1
+                return entry[1]
+            if content_key is not None:
+                # Content entries pin no source: equality is established by
+                # the digest, not by object identity, so any equal matrix may
+                # hit.
+                entry = self._cache.get(content_key)
+                if entry is not None:
+                    self._cache.move_to_end(content_key)
+                    # Alias this object's identity key to the shared
+                    # translation so its next lookup skips the hash entirely.
+                    self._store(key, source, entry[1])
+                    self._hits += 1
+                    self._content_hits += 1
+                    return entry[1]
+            fmt = build()
+            self._misses += 1
+            self._store(key, source, fmt)
+            if content_key is not None:
+                self._store(content_key, None, fmt)
+            return fmt
+
+    # ------------------------------------------------------------ public API
+    def stats(self) -> CacheStats:
+        """Snapshot of the hit/miss/eviction counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                content_hits=self._content_hits,
+                size=len(self._cache),
+            )
+
+    def reset_stats(self) -> None:
+        """Zero the counters (entries are kept)."""
+        with self._lock:
+            self._hits = self._misses = self._evictions = self._content_hits = 0
+
+    def clear(self) -> None:
+        """Drop every cached translation (and the pinned source matrices)."""
+        with self._lock:
+            self._cache.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._cache)
 
 
-def _lookup(
-    key: tuple,
-    source: CSRMatrix,
-    build: Callable[[], object],
-    content_key: tuple | None = None,
-):
-    entry = _cache.get(key)
-    if entry is not None and entry[0] is source:
-        _cache.move_to_end(key)
-        return entry[1]
-    if content_key is not None:
-        # Content entries pin no source: equality is established by the
-        # digest, not by object identity, so any equal matrix may hit.
-        entry = _cache.get(content_key)
-        if entry is not None:
-            _cache.move_to_end(content_key)
-            # Alias this object's identity key to the shared translation so
-            # its next lookup skips the hash entirely.
-            _store(key, source, entry[1])
-            return entry[1]
-    fmt = build()
-    _store(key, source, fmt)
-    if content_key is not None:
-        _store(content_key, None, fmt)
-    return fmt
+#: The process-wide default cache every kernel entry point goes through.
+DEFAULT_CACHE = TranslationCache()
 
 
 def _key(matrix: CSRMatrix, kind: str, precision: Precision) -> tuple:
@@ -105,7 +200,7 @@ def cached_mebcrs(
     identity only.
     """
     precision = Precision(precision)
-    return _lookup(
+    return DEFAULT_CACHE.lookup(
         _key(matrix, "mebcrs", precision),
         matrix,
         lambda: MEBCRSMatrix.from_csr(matrix, precision=precision),
@@ -121,7 +216,7 @@ def cached_sgt16(
     ``by_content=True`` behaves as for :func:`cached_mebcrs`.
     """
     precision = Precision(precision)
-    return _lookup(
+    return DEFAULT_CACHE.lookup(
         _key(matrix, "sgt16", precision),
         matrix,
         lambda: SGT16Matrix.from_csr(matrix, precision=precision),
@@ -131,9 +226,19 @@ def cached_sgt16(
 
 def clear_format_cache() -> None:
     """Drop every cached translation (and the pinned source matrices)."""
-    _cache.clear()
+    DEFAULT_CACHE.clear()
 
 
 def format_cache_size() -> int:
     """Number of translations currently cached."""
-    return len(_cache)
+    return len(DEFAULT_CACHE)
+
+
+def format_cache_stats() -> CacheStats:
+    """Hit/miss/eviction snapshot of the default cache."""
+    return DEFAULT_CACHE.stats()
+
+
+def reset_format_cache_stats() -> None:
+    """Zero the default cache's counters (entries are kept)."""
+    DEFAULT_CACHE.reset_stats()

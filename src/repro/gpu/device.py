@@ -60,6 +60,12 @@ class GPUSpec:
     max_resident_warps:
         Upper bound on concurrently resident warps, used to model occupancy
         limits for very small inputs.
+    memory_bytes:
+        Device global-memory capacity in bytes (the paper's Section 4 lists
+        80 GB for the H100 PCIe and 24 GB for the RTX 4090).  The serving
+        planner (:mod:`repro.serve.planner`) derives its workspace budget
+        from this figure; 0 means "unknown capacity" and disables
+        budget-derived planning.
     """
 
     name: str
@@ -74,6 +80,7 @@ class GPUSpec:
     l2_cache_bytes: int
     kernel_launch_overhead_us: float = 5.0
     max_resident_warps: int = 2048
+    memory_bytes: int = 0
     extra: dict = field(default_factory=dict)
 
     @property
@@ -129,6 +136,7 @@ H100_PCIE = GPUSpec(
     l2_cache_bytes=50 * 1024 * 1024,
     kernel_launch_overhead_us=4.0,
     max_resident_warps=114 * 64,
+    memory_bytes=80 * 1024**3,
 )
 
 #: NVIDIA GeForce RTX 4090 as described in the paper's Section 4 (512 TCUs,
@@ -146,6 +154,7 @@ RTX4090 = GPUSpec(
     l2_cache_bytes=72 * 1024 * 1024,
     kernel_launch_overhead_us=3.0,
     max_resident_warps=128 * 48,
+    memory_bytes=24 * 1024**3,
 )
 
 _DEVICES = {

@@ -20,7 +20,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.gpu.device import MIN_TRANSACTION_BYTES
+from repro.gpu.device import MIN_TRANSACTION_BYTES, GPUSpec
 
 #: Largest single memory transaction, in bytes.
 MAX_TRANSACTION_BYTES = 128
@@ -179,3 +179,77 @@ def addresses_for_elements(
     rows = np.asarray(rows, dtype=np.int64)
     cols = np.asarray(cols, dtype=np.int64)
     return base_address + rows * row_stride_bytes + cols * element_bytes
+
+
+# ---------------------------------------------------------------------------
+# Device memory budgets
+# ---------------------------------------------------------------------------
+
+#: Default fraction of the memory left after operands that an op's streaming
+#: intermediates may occupy.  Deliberately conservative: a serving process
+#: co-hosts several in-flight requests plus the translation cache.
+DEFAULT_WORKSPACE_FRACTION = 0.25
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """Workspace budget carved out of a device's global memory.
+
+    ``capacity_bytes`` is the device capacity (``GPUSpec.memory_bytes``),
+    ``resident_bytes`` the memory pinned by an op's operands and outputs
+    (dense matrices, translated sparse format), and ``workspace_fraction``
+    the share of the remainder the op's streaming intermediates may use.
+    The serving planner sizes ``max_intermediate_bytes`` from
+    :attr:`workspace_bytes` instead of asking the caller for a byte budget.
+    """
+
+    capacity_bytes: int
+    resident_bytes: int
+    workspace_fraction: float = DEFAULT_WORKSPACE_FRACTION
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if self.resident_bytes < 0:
+            raise ValueError("resident_bytes must be non-negative")
+        if not 0.0 < self.workspace_fraction <= 1.0:
+            raise ValueError("workspace_fraction must be in (0, 1]")
+
+    @property
+    def free_bytes(self) -> int:
+        """Capacity left after the resident operands (never negative)."""
+        return max(0, self.capacity_bytes - self.resident_bytes)
+
+    @property
+    def workspace_bytes(self) -> int:
+        """Bytes the op's streaming intermediates may occupy."""
+        return int(self.free_bytes * self.workspace_fraction)
+
+    @property
+    def fits(self) -> bool:
+        """Whether the resident set alone fits on the device at all."""
+        return self.resident_bytes <= self.capacity_bytes
+
+
+def derive_budget(
+    spec: GPUSpec,
+    resident_bytes: int,
+    workspace_fraction: float = DEFAULT_WORKSPACE_FRACTION,
+) -> MemoryBudget:
+    """The :class:`MemoryBudget` of running an op with ``resident_bytes``
+    of operands on ``spec``.
+
+    Raises ``ValueError`` when the spec does not declare a memory capacity
+    (``memory_bytes == 0``) — callers that tolerate unknown capacity should
+    check first and fall back to an explicit byte budget.
+    """
+    if spec.memory_bytes <= 0:
+        raise ValueError(
+            f"device {spec.name!r} declares no memory capacity; "
+            "pass an explicit byte budget instead"
+        )
+    return MemoryBudget(
+        capacity_bytes=int(spec.memory_bytes),
+        resident_bytes=int(resident_bytes),
+        workspace_fraction=workspace_fraction,
+    )

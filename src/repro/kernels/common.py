@@ -86,6 +86,24 @@ class FlashSparseConfig:
             "workers": self.workers,
         }
 
+    @classmethod
+    def from_plan(cls, plan, **overrides) -> "FlashSparseConfig":
+        """Config whose streaming knobs come from a derived
+        :class:`~repro.serve.planner.ServePlan`.
+
+        The plan supplies ``precision``, ``block_chunk``,
+        ``max_intermediate_bytes`` and ``workers``; keyword ``overrides``
+        win over the plan (e.g. ``engine="reference"`` for oracle runs).
+        """
+        kwargs = {
+            "precision": plan.precision,
+            "block_chunk": plan.block_chunk,
+            "max_intermediate_bytes": plan.max_intermediate_bytes,
+            "workers": plan.workers,
+        }
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
     @property
     def vector_size(self) -> int:
         """Nonzero-vector granularity implied by the strategy."""

@@ -50,12 +50,34 @@ to FP32 round-off, not bit-exactly.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.formats.blocked import BlockBatch, BlockedVectorFormat
 from repro.ops import segment_sum, segment_sum_runs
 from repro.precision.types import Precision, quantize
+
+
+def spmm_bytes_per_block(vector_size: int, group: int, n_dense: int) -> int:
+    """Float32 intermediate bytes one SpMM block contributes to a chunk.
+
+    The (v, N) product slab plus the (group, N) gathered B rows — the figure
+    :func:`resolve_block_chunk` divides a byte budget by.  The serving
+    planner uses the same formula so its budget math can never drift from
+    the engine's.
+    """
+    return (int(vector_size) + int(group)) * int(n_dense) * 4
+
+
+def sddmm_bytes_per_block(vector_size: int, group: int, k_dense: int) -> int:
+    """Float32 intermediate bytes one SDDMM output block contributes.
+
+    The gathered A window (v, K) and B rows (group, K) plus the (v, group)
+    accumulator.
+    """
+    v, g = int(vector_size), int(group)
+    return ((v + g) * int(k_dense) + v * g) * 4
 
 
 def resolve_block_chunk(
@@ -151,9 +173,7 @@ def spmm_batched(
     if n_blocks == 0 or n_dense == 0:
         return out
 
-    # Per-block intermediate footprint: the (v, N) product slab plus the
-    # (k, N) gathered B rows, both float32.
-    bytes_per_block = (v + batch.group) * n_dense * 4
+    bytes_per_block = spmm_bytes_per_block(v, batch.group, n_dense)
     chunk = resolve_block_chunk(
         n_blocks, bytes_per_block, block_chunk, max_intermediate_bytes, workers
     )
@@ -244,9 +264,7 @@ def sddmm_batched(
     a_pad[:n_rows] = a_q
     a_win = a_pad.reshape(fmt.num_windows, v, k_dense)
 
-    # Per-block intermediate footprint: the gathered A window (v, K) and
-    # B rows (group, K) plus the (v, group) accumulator, all float32.
-    bytes_per_block = ((v + group) * k_dense + v * group) * 4
+    bytes_per_block = sddmm_bytes_per_block(v, group, k_dense)
     chunk = resolve_block_chunk(
         n_blocks, bytes_per_block, block_chunk, max_intermediate_bytes, workers
     )
@@ -271,3 +289,114 @@ def sddmm_batched(
     ranges = _worker_ranges(batch.window_offsets, n_blocks, workers)
     _run_sharded(ranges, body, workers)
     return out_values
+
+
+# ---------------------------------------------------------------------------
+# Shard execution hooks (multi-process serving)
+# ---------------------------------------------------------------------------
+# The functions below are the per-shard numeric cores the serving scheduler
+# (:mod:`repro.serve.scheduler`) runs inside worker *processes*.  They take
+# plain ndarrays (cheap to pickle per shard; the large dense operands travel
+# via shared memory) and reproduce the one-shot batched path bit-for-bit:
+# a shard covers a *window-aligned* block range, so every window's reduceat
+# segment is reduced whole, in the same association order as the full-batch
+# reduction — no FP32 re-association, unlike the incremental chunk merge.
+
+
+@dataclass(frozen=True)
+class ShardRange:
+    """One window-aligned unit of work: blocks ``[lo, hi)`` covering windows
+    ``[w0, w1)`` of the batch."""
+
+    lo: int
+    hi: int
+    w0: int
+    w1: int
+
+    @property
+    def num_blocks(self) -> int:
+        """Blocks in the shard."""
+        return self.hi - self.lo
+
+
+def window_aligned_ranges(
+    window_offsets: np.ndarray, target_blocks: int
+) -> list[ShardRange]:
+    """Cut the block batch into window-aligned shards of ≈ ``target_blocks``.
+
+    Every window's blocks land in exactly one shard (the race-freedom and
+    bit-exactness invariant); a window with more than ``target_blocks``
+    blocks becomes a shard of its own rather than being split.  The shards
+    cover the windows gaplessly and in order — empty windows (zero blocks,
+    zero output) are absorbed into the neighbouring shard — so consecutive
+    shards satisfy ``prev.hi == next.lo`` and ``prev.w1 == next.w0``.  An
+    all-empty batch yields no shards.
+    """
+    offsets = np.asarray(window_offsets, dtype=np.int64)
+    n_windows = offsets.shape[0] - 1
+    target = max(1, int(target_blocks))
+    ranges: list[ShardRange] = []
+    w0 = 0
+    while w0 < n_windows:
+        lo = int(offsets[w0])
+        # Largest window end whose cumulative block count stays within target
+        # (but always at least one window).
+        w1 = int(np.searchsorted(offsets, lo + target, side="right")) - 1
+        w1 = min(max(w1, w0 + 1), n_windows)
+        hi = int(offsets[w1])
+        while hi == lo and w1 < n_windows:  # leading empty windows: reach blocks
+            w1 += 1
+            hi = int(offsets[w1])
+        while w1 < n_windows and int(offsets[w1 + 1]) == hi:  # trailing empties
+            w1 += 1
+        if hi > lo:
+            ranges.append(ShardRange(lo=lo, hi=hi, w0=w0, w1=w1))
+        w0 = w1
+    return ranges
+
+
+def spmm_shard_rows(
+    shard_values: np.ndarray,
+    shard_columns: np.ndarray,
+    local_offsets: np.ndarray,
+    b_q: np.ndarray,
+    precision: Precision,
+) -> np.ndarray:
+    """Dense output rows of one window-aligned SpMM shard (one-shot order).
+
+    ``shard_values`` / ``shard_columns`` are the batch slices of the shard's
+    block range, ``local_offsets`` the shard-local window offsets
+    (``window_offsets[w0:w1 + 1] - lo``).  Returns the ``(windows · v, N)``
+    row block starting at matrix row ``w0 · v`` (the caller clips the tail
+    window past ``n_rows``).
+    """
+    a_q = quantize(shard_values, precision).astype(np.float32)
+    prod = a_q @ b_q[shard_columns]
+    win_sums = segment_sum(prod, local_offsets)
+    return win_sums.reshape(-1, b_q.shape[1])
+
+
+def sddmm_shard_values(
+    shard_values: np.ndarray,
+    shard_columns: np.ndarray,
+    shard_lane_valid: np.ndarray,
+    shard_vector_index: np.ndarray,
+    local_window_of_block: np.ndarray,
+    a_win: np.ndarray,
+    b_q: np.ndarray,
+    scale_by_mask: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sampled values of one window-aligned SDDMM shard.
+
+    ``a_win`` is the zero-padded ``(w1 - w0, v, K)`` slab of A rows for the
+    shard's windows; ``local_window_of_block`` indexes into it.  Returns
+    ``(vector_indices, values)`` — the flat scatter targets into
+    ``fmt.vector_values`` and the ``(n, v)`` rows to store there.  Bit-
+    identical to the one-shot path: every output block is independent.
+    """
+    acc = a_win[local_window_of_block] @ b_q[shard_columns].transpose(0, 2, 1)
+    sampled = np.where(shard_values != 0.0, acc, 0.0)
+    if scale_by_mask:
+        sampled = sampled * shard_values
+    lanes = shard_lane_valid
+    return shard_vector_index[lanes], sampled.transpose(0, 2, 1)[lanes]

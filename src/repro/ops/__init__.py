@@ -54,6 +54,8 @@ from repro.ops.segment import (
     segment_count,
     segment_ids,
     segment_max,
+    segment_mean,
+    segment_min,
     segment_softmax,
     segment_softmax_backward,
     segment_sum,
@@ -65,6 +67,8 @@ __all__ = [
     "segment_count",
     "segment_ids",
     "segment_max",
+    "segment_mean",
+    "segment_min",
     "segment_softmax",
     "segment_softmax_backward",
     "segment_sum",

@@ -118,6 +118,42 @@ def segment_max(
     return _reduceat(np.maximum, data, offsets, empty_value, "native")
 
 
+def segment_min(
+    data: np.ndarray,
+    offsets: np.ndarray,
+    empty_value: float = 0.0,
+) -> np.ndarray:
+    """Per-segment minima along axis 0; empty segments yield ``empty_value``.
+
+    Like :func:`segment_max`, minima carry no round-off and agree
+    bit-exactly with any per-segment loop.
+    """
+    return _reduceat(np.minimum, data, offsets, empty_value, "native")
+
+
+def segment_mean(
+    data: np.ndarray,
+    offsets: np.ndarray,
+    accumulate: str = "native",
+) -> np.ndarray:
+    """Per-segment means along axis 0; empty segments yield 0.
+
+    The mean is the segment sum divided by the segment length; the division
+    happens in the accumulation dtype (float64 under ``accumulate="fp64"``),
+    so the only association sensitivity is the sum's (see
+    :func:`segment_sum`).  Integer inputs are promoted to float64 — a mean
+    is not generally representable in an integer dtype.
+    """
+    data = np.asarray(data)
+    if not np.issubdtype(data.dtype, np.floating):
+        data = data.astype(np.float64)
+    sums = segment_sum(data, offsets, accumulate)
+    lengths = segment_count(offsets)
+    # Empty segments divide by 1 and keep the sum's 0 identity.
+    denom = np.maximum(lengths, 1).astype(sums.dtype)
+    return sums / denom.reshape((-1,) + (1,) * (sums.ndim - 1))
+
+
 def segment_sum_runs(data: np.ndarray, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Sums of the runs of equal consecutive ``ids`` along axis 0.
 

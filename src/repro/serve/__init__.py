@@ -1,0 +1,41 @@
+"""Multi-process sharded serving subsystem.
+
+This package turns the kernel library into a serving system for the paper's
+end-to-end workloads (the GNN inference traffic of Figure 16): a
+:class:`~repro.serve.server.Server` accepts concurrent SpMM / SDDMM
+requests, deduplicates translations across requests that carry the same
+matrix (content-hash keyed), batches same-matrix SpMM requests into one
+engine pass, and executes large operations sharded across a
+``multiprocessing`` worker pool with shared-memory dense operands.
+
+The four pieces:
+
+* :mod:`repro.serve.planner` — derives ``block_chunk`` /
+  ``max_intermediate_bytes`` / ``workers`` from a
+  :class:`~repro.gpu.device.GPUSpec` memory budget and the format's
+  block-width histogram, replacing caller-supplied knobs;
+* :mod:`repro.serve.scheduler` — shards window-aligned block ranges of one
+  operation across a process pool (work queue, per-shard retry,
+  shared-memory dense operands, bit-identical to the single-process
+  one-shot engine);
+* :mod:`repro.serve.server` — the request frontend (futures, same-matrix
+  batching, per-request cost counters);
+* :mod:`repro.serve.metrics` — latency percentiles, queue depth and the
+  translation-cache hit/miss counters.
+"""
+
+from repro.serve.metrics import MetricsSnapshot, ServeMetrics
+from repro.serve.planner import ServePlan, plan_sddmm, plan_spmm
+from repro.serve.scheduler import ShardScheduler
+from repro.serve.server import Server, ServeRequest
+
+__all__ = [
+    "MetricsSnapshot",
+    "ServeMetrics",
+    "ServePlan",
+    "ShardScheduler",
+    "Server",
+    "ServeRequest",
+    "plan_sddmm",
+    "plan_spmm",
+]

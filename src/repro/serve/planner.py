@@ -1,0 +1,287 @@
+"""Memory-budget planner: GPUSpec + block histogram → streaming knobs.
+
+PR 2 introduced ``block_chunk`` / ``max_intermediate_bytes`` / ``workers``
+as caller-supplied knobs on :class:`~repro.kernels.common.FlashSparseConfig`.
+This module derives them instead: given the device's declared memory
+capacity (:attr:`~repro.gpu.device.GPUSpec.memory_bytes`), the planner
+
+1. computes the *resident* footprint of the operation — the translated
+   sparse format plus the dense operands and output, which must live in
+   device memory for the whole run,
+2. carves a workspace budget for streaming intermediates out of the
+   remaining capacity (:func:`repro.gpu.memory.derive_budget`),
+3. divides the workspace by the number of workers and by the per-block
+   intermediate footprint (the same
+   :func:`~repro.kernels.engine.spmm_bytes_per_block` /
+   :func:`~repro.kernels.engine.sddmm_bytes_per_block` formulas the engine
+   uses, so the two can never drift), and
+4. snaps the resulting chunk target to the format's block-width histogram
+   (:func:`repro.formats.stats.block_width_histogram`): shards are
+   window-aligned, so a window with more blocks than the target becomes a
+   shard of its own and the plan reports the true peak.
+
+The planner is deliberately conservative — a serving process co-hosts
+several in-flight requests — and fully deterministic: the same matrix,
+dense width and device always produce the same plan.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.formats.blocked import BlockedVectorFormat
+from repro.formats.cache import cached_mebcrs
+from repro.formats.csr import CSRMatrix
+from repro.formats.stats import BlockHistogram, block_width_histogram
+from repro.gpu.device import GPUSpec, get_device
+from repro.gpu.memory import DEFAULT_WORKSPACE_FRACTION, MemoryBudget, derive_budget
+from repro.kernels.engine import (
+    sddmm_bytes_per_block,
+    spmm_bytes_per_block,
+    window_aligned_ranges,
+)
+from repro.kernels.sddmm_flash import VECTORS_PER_OUTPUT_BLOCK
+from repro.precision.types import Precision, element_bytes
+
+#: Upper bound on planner-chosen worker processes; beyond this the shard
+#: dispatch overhead dominates for the matrix sizes the simulator handles.
+MAX_PLANNED_WORKERS = 8
+
+
+@dataclass(frozen=True)
+class ServePlan:
+    """Derived execution configuration for one serving operation.
+
+    The three engine knobs (``workers``, ``block_chunk``,
+    ``max_intermediate_bytes``) are what :class:`FlashSparseConfig` and the
+    scheduler consume; the rest records how they were derived so tests and
+    operators can audit the plan against the device budget.
+    """
+
+    op: str
+    precision: Precision
+    workers: int
+    #: Window-aligned shard/chunk target in blocks (also the engine's
+    #: ``block_chunk``); ``None`` means one-shot.
+    block_chunk: int | None
+    #: Per-run intermediate byte budget handed to the engine; ``None`` when
+    #: no budget applies (one-shot).
+    max_intermediate_bytes: int | None
+    #: Float32 intermediate bytes per block (engine formula).
+    bytes_per_block: int
+    #: Total TC blocks of the operation.
+    num_blocks: int
+    #: Window-aligned shards the scheduler will dispatch.
+    num_shards: int
+    #: Worst-case concurrent intermediate bytes under this plan (accounts
+    #: for windows larger than the chunk target, which cannot be split).
+    expected_peak_bytes: int
+    #: The device budget the plan was derived from (None with an explicit
+    #: byte budget or no budget at all).
+    budget: MemoryBudget | None = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def within_budget(self) -> bool:
+        """Whether the expected peak fits the derived workspace budget."""
+        if self.budget is None:
+            return True
+        return self.expected_peak_bytes <= self.budget.workspace_bytes
+
+    def config_kwargs(self) -> dict:
+        """The streaming knobs in :class:`FlashSparseConfig` keyword form."""
+        return {
+            "block_chunk": self.block_chunk,
+            "max_intermediate_bytes": self.max_intermediate_bytes,
+            "workers": self.workers,
+        }
+
+
+def _resolve_format(
+    matrix: BlockedVectorFormat | CSRMatrix, precision: Precision
+) -> BlockedVectorFormat:
+    if isinstance(matrix, BlockedVectorFormat):
+        return matrix
+    # Serving path: content-hash keyed so request payloads deserialised
+    # fresh per request still share one translation.
+    return cached_mebcrs(matrix, precision, by_content=True)
+
+
+def _default_workers(requested: int | None, num_shards: int) -> int:
+    if requested is not None:
+        workers = int(requested)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+    else:
+        workers = min(os.cpu_count() or 1, MAX_PLANNED_WORKERS)
+    # More workers than shards would idle from the first dispatch.
+    return max(1, min(workers, num_shards))
+
+
+def _plan(
+    op: str,
+    fmt: BlockedVectorFormat,
+    bytes_per_block: int,
+    resident_bytes: int,
+    group: int,
+    device: str | GPUSpec | None,
+    workers: int | None,
+    workspace_fraction: float,
+    max_intermediate_bytes: int | None,
+) -> ServePlan:
+    hist: BlockHistogram = block_width_histogram(fmt.partition, group)
+    offsets = np.zeros(hist.num_windows + 1, dtype=np.int64)
+    np.cumsum(hist.blocks_per_window, out=offsets[1:])
+    num_blocks = hist.num_blocks
+
+    budget: MemoryBudget | None = None
+    workspace: int | None = max_intermediate_bytes
+    if workspace is None and device is not None:
+        spec = device if isinstance(device, GPUSpec) else get_device(device)
+        budget = derive_budget(spec, resident_bytes, workspace_fraction)
+        workspace = budget.workspace_bytes
+
+    if workspace is None or num_blocks == 0:
+        # No budget to honour: one-shot, single shard.
+        ranges = window_aligned_ranges(offsets, max(1, num_blocks))
+        peak = num_blocks * bytes_per_block
+        plan_workers = _default_workers(workers, len(ranges))
+        return ServePlan(
+            op=op,
+            precision=fmt.precision,
+            workers=plan_workers,
+            block_chunk=None,
+            max_intermediate_bytes=None,
+            bytes_per_block=bytes_per_block,
+            num_blocks=num_blocks,
+            num_shards=len(ranges),
+            expected_peak_bytes=peak,
+            budget=budget,
+            meta={"resident_bytes": resident_bytes, "one_shot": True},
+        )
+
+    workspace = max(int(workspace), bytes_per_block)
+    # First sizing pass assumes the full worker complement; the shard count
+    # it implies may then cap the workers, which only widens the per-worker
+    # share (never violating the budget).
+    provisional_workers = _default_workers(workers, max(1, num_blocks))
+    chunk = max(1, (workspace // provisional_workers) // bytes_per_block)
+    ranges = window_aligned_ranges(offsets, chunk)
+    plan_workers = _default_workers(workers, len(ranges))
+
+    # True peak: workers × the largest shard actually produced (a window
+    # wider than the chunk target cannot be split below one window).
+    largest_shard = max((r.num_blocks for r in ranges), default=0)
+    peak = plan_workers * largest_shard * bytes_per_block
+
+    return ServePlan(
+        op=op,
+        precision=fmt.precision,
+        workers=plan_workers,
+        block_chunk=chunk,
+        max_intermediate_bytes=int(workspace),
+        bytes_per_block=bytes_per_block,
+        num_blocks=num_blocks,
+        num_shards=len(ranges),
+        expected_peak_bytes=peak,
+        budget=budget,
+        meta={
+            "resident_bytes": resident_bytes,
+            "one_shot": False,
+            "max_blocks_in_window": hist.max_blocks_in_window,
+        },
+    )
+
+
+def plan_spmm(
+    matrix: BlockedVectorFormat | CSRMatrix,
+    n_dense: int,
+    device: str | GPUSpec | None = None,
+    precision: Precision | str = Precision.FP16,
+    workers: int | None = None,
+    workspace_fraction: float = DEFAULT_WORKSPACE_FRACTION,
+    max_intermediate_bytes: int | None = None,
+) -> ServePlan:
+    """Plan one SpMM: derive the streaming knobs from the device budget.
+
+    Parameters
+    ----------
+    matrix:
+        The sparse operand (CSR inputs are translated through the
+        content-keyed cache, as the serving path does).
+    n_dense:
+        Dense-operand width ``N``.
+    device:
+        Device name or :class:`GPUSpec` whose ``memory_bytes`` bounds the
+        workspace.  Without a device (and without an explicit byte budget)
+        the plan is one-shot.
+    workers:
+        Worker override; defaults to ``min(cpu_count, 8)``, capped by the
+        number of shards the budget produces.
+    workspace_fraction:
+        Share of post-operand device memory granted to intermediates.
+    max_intermediate_bytes:
+        Explicit byte budget that bypasses the device derivation (the old
+        caller-supplied knob, kept for compatibility).
+    """
+    precision = Precision(precision)
+    n_dense = int(n_dense)
+    if n_dense <= 0:
+        raise ValueError("n_dense must be positive")
+    fmt = _resolve_format(matrix, precision)
+    elem = element_bytes(precision)
+    resident = (
+        fmt.memory_footprint_bytes()
+        + fmt.shape[1] * n_dense * elem  # dense B
+        + fmt.shape[0] * n_dense * 4  # FP32 output C
+    )
+    return _plan(
+        "spmm",
+        fmt,
+        spmm_bytes_per_block(fmt.vector_size, fmt.k, n_dense),
+        resident,
+        fmt.k,
+        device,
+        workers,
+        workspace_fraction,
+        max_intermediate_bytes,
+    )
+
+
+def plan_sddmm(
+    matrix: BlockedVectorFormat | CSRMatrix,
+    k_dense: int,
+    device: str | GPUSpec | None = None,
+    precision: Precision | str = Precision.FP16,
+    workers: int | None = None,
+    workspace_fraction: float = DEFAULT_WORKSPACE_FRACTION,
+    max_intermediate_bytes: int | None = None,
+) -> ServePlan:
+    """Plan one SDDMM (see :func:`plan_spmm`); ``k_dense`` is the inner
+    feature dimension of the two dense inputs."""
+    precision = Precision(precision)
+    k_dense = int(k_dense)
+    if k_dense <= 0:
+        raise ValueError("k_dense must be positive")
+    fmt = _resolve_format(matrix, precision)
+    elem = element_bytes(precision)
+    resident = (
+        fmt.memory_footprint_bytes()
+        + (fmt.shape[0] + fmt.shape[1]) * k_dense * elem  # dense A and B
+        + fmt.num_nonzero_vectors * fmt.vector_size * 4  # FP32 output values
+    )
+    group = VECTORS_PER_OUTPUT_BLOCK
+    return _plan(
+        "sddmm",
+        fmt,
+        sddmm_bytes_per_block(fmt.vector_size, group, k_dense),
+        resident,
+        group,
+        device,
+        workers,
+        workspace_fraction,
+        max_intermediate_bytes,
+    )

@@ -1,0 +1,347 @@
+"""Serving frontend: concurrent requests, same-matrix batching, futures.
+
+The :class:`Server` is the request path of the serving subsystem (the shape
+follows DGL's graph-serving frontends: clients submit into a queue and get
+futures; a dispatch loop drains the queue, groups compatible requests and
+executes them on the shared backend):
+
+* clients call :meth:`Server.submit_spmm` / :meth:`Server.submit_sddmm`
+  from any thread and receive a :class:`concurrent.futures.Future`;
+* one dispatch thread drains the queue and groups requests by operation and
+  :meth:`~repro.formats.csr.CSRMatrix.content_key` — same-matrix SpMM
+  requests are concatenated column-wise and run as **one** engine pass, so
+  they share one cached translation (content-keyed: serving payloads are
+  deserialised fresh per request) and one dense-operand gather.  The
+  concatenation is numerically invisible: the engine's batched 3-D matmuls
+  and window reductions act per output element along the dense axis, so the
+  split results are bit-identical to running each request alone;
+* execution honours a :class:`~repro.serve.planner.ServePlan` — derived per
+  (matrix, width) from the server's device budget and memoised — and runs
+  on the multi-process :class:`~repro.serve.scheduler.ShardScheduler` when
+  the server has workers, inline otherwise;
+* every request resolves with a result carrying the same ``values`` /
+  ``counter`` / ``useful_flops`` a direct :func:`repro.core.api.spmm` call
+  would produce: cost counters come from the closed-form cost pass, which
+  is exactly independent of batching and sharding.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.api import SddmmResult, SpmmResult, _as_input
+from repro.formats.blocked import BlockedVectorFormat
+from repro.formats.cache import cached_mebcrs
+from repro.gpu.device import GPUSpec, get_device
+from repro.kernels.common import FlashSparseConfig
+from repro.kernels.sddmm_flash import (
+    VECTORS_PER_OUTPUT_BLOCK,
+    sddmm_flash_cost,
+)
+from repro.kernels.spmm_flash import spmm_flash_cost
+from repro.perfmodel.model import sddmm_useful_flops, spmm_useful_flops
+from repro.precision.types import Precision, quantize
+from repro.serve.metrics import MetricsSnapshot, ServeMetrics
+from repro.serve.planner import MAX_PLANNED_WORKERS, ServePlan, plan_sddmm, plan_spmm
+from repro.serve.scheduler import ShardScheduler
+from repro.utils.validation import check_dense_matrix
+
+#: Most requests coalesced into one engine pass.  Bounds both the
+#: concatenated dense width and how long an early request waits for the
+#: batch to fill (the dispatch loop never waits — it batches whatever is
+#: already queued — so this is a width cap, not a time window).
+DEFAULT_MAX_BATCH = 8
+
+
+@dataclass
+class ServeRequest:
+    """One queued operation (internal to the server)."""
+
+    op: str
+    csr: object  # CSRMatrix
+    key: str  # content key — the batching handle
+    b: np.ndarray
+    a: np.ndarray | None = None
+    scale_by_mask: bool = False
+    future: Future | None = None
+    submitted_at: float = 0.0
+
+
+@dataclass
+class _Stop:
+    """Queue sentinel that wakes the dispatch loop for shutdown."""
+
+
+class Server:
+    """Multi-process sharded SpMM/SDDMM server.
+
+    Parameters
+    ----------
+    device:
+        Device name or :class:`GPUSpec`; its memory capacity drives the
+        planner.  ``None`` serves without a memory budget (one-shot plans).
+    precision:
+        Kernel precision for every request (``"fp16"`` or ``"tf32"``).
+    workers:
+        Worker processes for the shard scheduler.  ``None`` lets the
+        planner choose per request (up to ``min(cpu_count, 8)``); ``1``
+        forces inline execution — the reference configuration the parity
+        suite compares against.
+    max_batch:
+        Maximum same-matrix requests coalesced into one engine pass.
+    retries:
+        Per-shard retry budget of the scheduler.
+    """
+
+    def __init__(
+        self,
+        device: str | GPUSpec | None = None,
+        precision: Precision | str = Precision.FP16,
+        workers: int | None = None,
+        workspace_fraction: float | None = None,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        retries: int | None = None,
+        start_method: str | None = None,
+    ):
+        self.device = device if (device is None or isinstance(device, GPUSpec)) else get_device(device)
+        self.precision = Precision(precision)
+        self.requested_workers = workers
+        self.workspace_fraction = workspace_fraction
+        self.max_batch = max(1, int(max_batch))
+        self.metrics = ServeMetrics()
+        sched_kwargs = {} if retries is None else {"retries": retries}
+        # Pool size: the planner may use fewer workers per request, never
+        # more than the pool holds.
+        pool_size = workers if workers is not None else min(os.cpu_count() or 1, MAX_PLANNED_WORKERS)
+        self.scheduler = ShardScheduler(
+            workers=pool_size, start_method=start_method, **sched_kwargs
+        )
+        self._plans: dict[tuple, tuple[BlockedVectorFormat, ServePlan]] = {}
+        self._queue: "queue.SimpleQueue[ServeRequest | _Stop]" = queue.SimpleQueue()
+        # Serialises submit vs close: nothing can enter the queue after the
+        # _Stop sentinel, so no future can be stranded by a shutdown race.
+        self._submit_lock = threading.Lock()
+        self._closed = False
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ----------------------------------------------------------- client API
+    def submit_spmm(self, matrix, b: np.ndarray):
+        """Enqueue ``matrix @ b``; returns a Future of :class:`SpmmResult`."""
+        inp = _as_input(matrix)
+        b = check_dense_matrix(np.asarray(b), "b", n_rows=inp.shape[1])
+        return self._enqueue(
+            ServeRequest(op="spmm", csr=inp.csr, key=inp.csr.content_key(), b=b)
+        )
+
+    def submit_sddmm(self, mask, a: np.ndarray, b: np.ndarray, scale_by_mask: bool = False):
+        """Enqueue a sampled dense×dense; returns a Future of
+        :class:`SddmmResult`."""
+        inp = _as_input(mask)
+        a = check_dense_matrix(np.asarray(a), "a", n_rows=inp.shape[0])
+        b = check_dense_matrix(np.asarray(b), "b", n_rows=inp.shape[1])
+        if a.shape[1] != b.shape[1]:
+            raise ValueError("a and b must share the inner dimension K")
+        return self._enqueue(
+            ServeRequest(
+                op="sddmm",
+                csr=inp.csr,
+                key=inp.csr.content_key(),
+                b=b,
+                a=a,
+                scale_by_mask=scale_by_mask,
+            )
+        )
+
+    def _enqueue(self, req: ServeRequest) -> Future:
+        req.future = Future()
+        req.submitted_at = time.perf_counter()
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError("server is closed")
+            self.metrics.record_submitted()
+            self._queue.put(req)
+        return req.future
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Current metrics (see :mod:`repro.serve.metrics`)."""
+        return self.metrics.snapshot(
+            scheduler=dict(self.scheduler.stats), workers=self.scheduler.workers
+        )
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests, drain the queue, shut the pool down."""
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(_Stop())
+        if wait:
+            self._dispatcher.join(timeout=60.0)
+        self.scheduler.close()
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -------------------------------------------------------- dispatch loop
+    def _dispatch_loop(self) -> None:
+        stopping = False
+        while not stopping:
+            try:
+                first = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            drained: list[ServeRequest] = []
+            if isinstance(first, _Stop):
+                stopping = True
+            else:
+                drained.append(first)
+            # Batch whatever is queued right now (no artificial wait).
+            while True:
+                try:
+                    nxt = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if isinstance(nxt, _Stop):
+                    stopping = True
+                else:
+                    drained.append(nxt)
+            if drained:
+                self.metrics.record_dequeued(len(drained))
+                for group in self._group(drained):
+                    self._execute_group(group)
+
+    def _group(self, requests: list[ServeRequest]) -> list[list[ServeRequest]]:
+        """Group by (op, matrix content, operand compatibility), preserving
+        arrival order, capped at ``max_batch``."""
+        groups: dict[tuple, list[ServeRequest]] = {}
+        ordered: list[list[ServeRequest]] = []
+        for req in requests:
+            # SDDMM requests share a translation but not an engine pass, so
+            # their group key is unique per request.
+            if req.op == "spmm":
+                key = (req.op, req.key, req.b.shape[0])
+            else:
+                key = (req.op, req.key, id(req))
+            bucket = groups.get(key)
+            if bucket is None or len(bucket) >= self.max_batch:
+                bucket = []
+                groups[key] = bucket
+                ordered.append(bucket)
+            bucket.append(req)
+        return ordered
+
+    # ------------------------------------------------------------ execution
+    def _plan_for(self, fmt: BlockedVectorFormat, op: str, width: int) -> ServePlan:
+        key = (op, id(fmt), width)
+        entry = self._plans.get(key)
+        # The pinned fmt reference both prevents id-reuse aliasing (a GC'd
+        # format's id recycled by a different matrix) and is verified anyway.
+        if entry is not None and entry[0] is fmt:
+            return entry[1]
+        planner = plan_spmm if op == "spmm" else plan_sddmm
+        kwargs = {"workers": self.requested_workers}
+        if self.workspace_fraction is not None:
+            kwargs["workspace_fraction"] = self.workspace_fraction
+        plan = planner(fmt, width, device=self.device, precision=self.precision, **kwargs)
+        if len(self._plans) > 256:
+            self._plans.clear()
+        self._plans[key] = (fmt, plan)
+        return plan
+
+    def _execute_group(self, group: list[ServeRequest]) -> None:
+        try:
+            if group[0].op == "spmm":
+                self._execute_spmm_group(group)
+            else:
+                self._execute_sddmm(group[0])
+        except Exception as exc:
+            now = time.perf_counter()
+            for req in group:
+                if not req.future.done():
+                    req.future.set_exception(exc)
+                    self.metrics.record_failed(now - req.submitted_at)
+
+    def _execute_spmm_group(self, group: list[ServeRequest]) -> None:
+        fmt = cached_mebcrs(group[0].csr, self.precision, by_content=True)
+        widths = [req.b.shape[1] for req in group]
+        n_total = sum(widths)
+        self.metrics.record_batch(len(group))
+        # One quantised concatenated operand → one gather in the engine.
+        b_cat = np.concatenate([req.b for req in group], axis=1) if len(group) > 1 else group[0].b
+        b_q = quantize(b_cat, self.precision).astype(np.float32)
+        plan = self._plan_for(fmt, "spmm", n_total)
+        out = self.scheduler.run_spmm(
+            fmt, b_q, self.precision, target_blocks=plan.block_chunk
+        )
+        offset = 0
+        now = time.perf_counter()
+        for req, width in zip(group, widths):
+            values = np.ascontiguousarray(out[:, offset : offset + width])
+            offset += width
+            counter = spmm_flash_cost(
+                fmt, width, FlashSparseConfig(precision=self.precision)
+            )
+            result = SpmmResult(
+                values=values,
+                counter=counter,
+                useful_flops=spmm_useful_flops(fmt.nnz, width),
+                meta={
+                    "engine": "serve",
+                    "workers": self.scheduler.workers,
+                    "batched_with": len(group) - 1,
+                    "plan": plan,
+                },
+            )
+            req.future.set_result(result)
+            self.metrics.record_completed(now - req.submitted_at)
+
+    def _execute_sddmm(self, req: ServeRequest) -> None:
+        fmt = cached_mebcrs(req.csr, self.precision, by_content=True)
+        self.metrics.record_batch(1)
+        k_dense = req.a.shape[1]
+        a_q = quantize(req.a, self.precision).astype(np.float32)
+        b_q = quantize(req.b, self.precision).astype(np.float32)
+        plan = self._plan_for(fmt, "sddmm", k_dense)
+        out_values = self.scheduler.run_sddmm(
+            fmt,
+            a_q,
+            b_q,
+            self.precision,
+            VECTORS_PER_OUTPUT_BLOCK,
+            scale_by_mask=req.scale_by_mask,
+            target_blocks=plan.block_chunk,
+        )
+        output = BlockedVectorFormat(
+            partition=fmt.partition,
+            vector_values=out_values,
+            k=fmt.k,
+            precision=Precision.FP32,
+            format_name=f"{fmt.format_name}-sddmm-out",
+        )
+        counter = sddmm_flash_cost(fmt, k_dense, FlashSparseConfig(precision=self.precision))
+        result = SddmmResult(
+            output=output,
+            counter=counter,
+            useful_flops=sddmm_useful_flops(fmt.nnz, k_dense),
+            meta={
+                "engine": "serve",
+                "workers": self.scheduler.workers,
+                "scale_by_mask": req.scale_by_mask,
+                "plan": plan,
+            },
+        )
+        req.future.set_result(result)
+        self.metrics.record_completed(time.perf_counter() - req.submitted_at)

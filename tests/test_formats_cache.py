@@ -7,12 +7,16 @@ import numpy as np
 from helpers import random_csr
 
 from repro.formats.cache import (
+    TranslationCache,
     cached_mebcrs,
     cached_sgt16,
     clear_format_cache,
     format_cache_size,
+    format_cache_stats,
+    reset_format_cache_stats,
 )
 from repro.formats.csr import CSRMatrix
+from repro.formats.mebcrs import MEBCRSMatrix
 
 
 def _twin(csr: CSRMatrix) -> CSRMatrix:
@@ -84,3 +88,40 @@ def test_cache_size_counts_alias_entries():
     assert format_cache_size() == 3
     clear_format_cache()
     assert format_cache_size() == 0
+
+
+def test_stats_count_hits_misses_and_content_hits():
+    reset_format_cache_stats()
+    csr = random_csr(48, 48, 0.1, seed=10)
+    base = format_cache_stats()
+    assert base.hits == 0 and base.misses == 0 and base.hit_rate == 1.0
+
+    cached_mebcrs(csr, "fp16", by_content=True)  # miss: builds
+    cached_mebcrs(csr, "fp16")  # identity hit
+    twin = _twin(csr)
+    cached_mebcrs(twin, "fp16", by_content=True)  # content hit (dedup)
+    cached_mebcrs(twin, "fp16")  # identity hit via the alias
+
+    stats = format_cache_stats()
+    assert stats.misses == 1
+    assert stats.hits == 3
+    assert stats.content_hits == 1
+    assert stats.lookups == 4
+    assert stats.hit_rate == 3 / 4
+    reset_format_cache_stats()
+    assert format_cache_stats().lookups == 0
+
+
+def test_evictions_are_counted_by_isolated_instance():
+    cache = TranslationCache(maxsize=2)
+    matrices = [random_csr(16, 16, 0.2, seed=s) for s in range(3)]
+    for m in matrices:
+        cache.lookup(
+            (id(m),), m, lambda m=m: MEBCRSMatrix.from_csr(m, precision="fp16")
+        )
+    stats = cache.stats()
+    assert stats.misses == 3
+    assert stats.evictions == 1  # the cap squeezed the first entry out
+    assert stats.size == 2
+    cache.clear()
+    assert len(cache) == 0

@@ -21,6 +21,8 @@ from repro.ops import (
     segment_count,
     segment_ids,
     segment_max,
+    segment_mean,
+    segment_min,
     segment_softmax,
     segment_softmax_backward,
     segment_sum,
@@ -153,6 +155,68 @@ def test_offsets_validation_rejects_malformed():
     with pytest.raises(ValueError):
         segment_sum(data, np.array([[0, 4]]))  # not 1-D
     np.testing.assert_array_equal(check_offsets([0, 2, 4], 4), [0, 2, 4])
+
+
+# ---------------------------------------------------------------------------
+# segment_min / segment_mean
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(LAYOUTS))
+def test_segment_min_matches_loop_and_fills_empties(name, rng):
+    offsets = _offsets(LAYOUTS[name])
+    data = rng.standard_normal(int(offsets[-1]))
+    result = segment_min(data, offsets, empty_value=456.0)
+    for s in range(len(offsets) - 1):
+        seg = data[offsets[s] : offsets[s + 1]]
+        expected = seg.min() if seg.size else 456.0
+        assert result[s] == expected  # min carries no round-off: exact
+
+
+def test_segment_min_is_negated_segment_max(rng):
+    offsets = _random_layout(np.random.default_rng(13))
+    data = rng.standard_normal(int(offsets[-1]))
+    np.testing.assert_array_equal(
+        segment_min(data, offsets, empty_value=-7.0),
+        -segment_max(-data, offsets, empty_value=7.0),
+    )
+
+
+@pytest.mark.parametrize("name", sorted(LAYOUTS))
+def test_segment_mean_matches_loop_on_integer_valued_data(name, rng):
+    # Integer-valued data with power-of-two-friendly sums still rounds at
+    # the division, so compare against the same sum/length computation.
+    offsets = _offsets(LAYOUTS[name])
+    data = _integer_valued(rng, int(offsets[-1]))
+    result = segment_mean(data, offsets)
+    lengths = segment_count(offsets)
+    # Same-dtype division of the exact sums: IEEE division is correctly
+    # rounded, so the comparison is bit-exact.
+    expected = _loop_sum(data, offsets) / np.maximum(lengths, 1).astype(data.dtype)
+    np.testing.assert_array_equal(result, expected)
+    assert not result[lengths == 0].any()  # empty segments mean to 0
+
+
+@pytest.mark.parametrize("trial", range(4))
+def test_segment_mean_random_layouts_track_float64_reference(trial):
+    rng = np.random.default_rng(3000 + trial)
+    offsets = _random_layout(rng)
+    data = rng.standard_normal(int(offsets[-1])).astype(np.float32)
+    expected = _loop_sum(data.astype(np.float64), offsets) / np.maximum(
+        segment_count(offsets), 1
+    )
+    np.testing.assert_allclose(segment_mean(data, offsets), expected, atol=1e-5)
+    fp64 = segment_mean(data, offsets, accumulate="fp64")
+    assert fp64.dtype == np.float64
+    np.testing.assert_allclose(fp64, expected, rtol=1e-13)
+
+
+def test_segment_mean_multidimensional_and_integer_input(rng):
+    offsets = _offsets([2, 0, 3])
+    data = rng.integers(-5, 5, size=(5, 3, 2))  # int64 input: promoted
+    result = segment_mean(data, offsets)
+    assert result.shape == (3, 3, 2)
+    assert np.issubdtype(result.dtype, np.floating)
+    np.testing.assert_array_equal(result[0], data[:2].mean(axis=0))
+    np.testing.assert_array_equal(result[2], data[2:].mean(axis=0))
 
 
 # ---------------------------------------------------------------------------

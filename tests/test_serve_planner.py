@@ -1,0 +1,167 @@
+"""Planner: GPUSpec memory budget → streaming knobs, enforced by tracemalloc.
+
+The contract: the planner replaces the caller-supplied ``block_chunk`` /
+``max_intermediate_bytes`` / ``workers`` knobs with values derived from the
+device's declared memory capacity and the format's block histogram, the
+derived configuration never exceeds the budget (asserted here with
+tracemalloc against a deliberately tiny budget), and planned runs produce
+the same values and exactly the same cost counters as unplanned runs.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from helpers import random_csr
+
+from repro.core.api import FlashSparseMatrix, spmm
+from repro.formats.mebcrs import MEBCRSMatrix
+from repro.gpu.device import RTX4090, GPUSpec
+from repro.gpu.memory import MemoryBudget, derive_budget
+from repro.kernels.common import FlashSparseConfig
+from repro.kernels.engine import spmm_batched, spmm_bytes_per_block
+from repro.precision.types import Precision
+from repro.serve.planner import plan_sddmm, plan_spmm
+
+
+def _tiny_device(capacity_bytes: int) -> GPUSpec:
+    """An RTX 4090 clone whose memory capacity is shrunk for budget tests."""
+    return replace(RTX4090, name="tiny", memory_bytes=int(capacity_bytes))
+
+
+def test_plan_spmm_derives_all_three_knobs_from_device():
+    csr = random_csr(600, 560, 0.05, seed=1)
+    fmt = MEBCRSMatrix.from_csr(csr, precision="fp16")
+    # Budget small enough to force chunking: resident + a few chunk slabs.
+    resident = plan_spmm(fmt, 64).meta["resident_bytes"]
+    plan = plan_spmm(fmt, 64, device=_tiny_device(resident + 2_000_000), workers=2)
+    assert plan.op == "spmm"
+    assert plan.block_chunk is not None and plan.block_chunk >= 1
+    assert plan.max_intermediate_bytes is not None
+    assert plan.workers >= 1
+    assert plan.num_shards >= 2  # the budget actually split the batch
+    assert plan.bytes_per_block == spmm_bytes_per_block(fmt.vector_size, fmt.k, 64)
+    # Derivation chain is auditable: budget → workspace → chunk.
+    assert plan.budget is not None
+    assert plan.max_intermediate_bytes == plan.budget.workspace_bytes
+    assert plan.within_budget
+
+
+def test_plan_is_deterministic_and_one_shot_without_budget():
+    csr = random_csr(200, 200, 0.05, seed=2)
+    p1 = plan_spmm(csr, 32)
+    p2 = plan_spmm(csr, 32)
+    assert p1 == p2
+    assert p1.block_chunk is None and p1.max_intermediate_bytes is None
+    assert p1.meta["one_shot"]
+
+
+def test_plan_workers_capped_by_shard_count():
+    csr = random_csr(40, 40, 0.2, seed=3)  # few windows -> few shards
+    plan = plan_spmm(csr, 16, workers=8)
+    assert plan.workers <= max(1, plan.num_shards)
+
+
+def test_plan_rejects_unknown_capacity_and_bad_inputs():
+    csr = random_csr(64, 64, 0.1, seed=4)
+    with pytest.raises(ValueError):
+        plan_spmm(csr, 32, device=_tiny_device(0))
+    with pytest.raises(ValueError):
+        plan_spmm(csr, 0)
+    with pytest.raises(ValueError):
+        plan_sddmm(csr, -3)
+    with pytest.raises(ValueError):
+        plan_spmm(csr, 32, workers=0)
+
+
+def test_memory_budget_arithmetic():
+    budget = MemoryBudget(capacity_bytes=1000, resident_bytes=400, workspace_fraction=0.5)
+    assert budget.free_bytes == 600
+    assert budget.workspace_bytes == 300
+    assert budget.fits
+    over = MemoryBudget(capacity_bytes=1000, resident_bytes=1400)
+    assert over.free_bytes == 0 and not over.fits
+    with pytest.raises(ValueError):
+        MemoryBudget(capacity_bytes=0, resident_bytes=0)
+    with pytest.raises(ValueError):
+        MemoryBudget(capacity_bytes=10, resident_bytes=0, workspace_fraction=1.5)
+    with pytest.raises(ValueError):
+        derive_budget(_tiny_device(0), 0)
+    assert derive_budget(RTX4090, 0).capacity_bytes == RTX4090.memory_bytes
+
+
+def test_planned_run_matches_unplanned_values_and_counters():
+    csr = random_csr(400, 380, 0.05, seed=5)
+    rng = np.random.default_rng(5)
+    b = rng.standard_normal((380, 48))
+    base = spmm(csr, b)
+    resident = plan_spmm(csr, 48).meta["resident_bytes"]
+    plan = plan_spmm(csr, 48, device=_tiny_device(resident + 3_000_000), workers=1)
+    res = spmm(csr, b, plan=plan)
+    np.testing.assert_allclose(res.values, base.values, atol=1e-4, rtol=1e-5)
+    assert res.counter.as_dict() == base.counter.as_dict()
+    # Explicit caller knobs beat the plan.
+    res2 = spmm(csr, b, plan=plan, block_chunk=1)
+    np.testing.assert_allclose(res2.values, base.values, atol=1e-4, rtol=1e-5)
+
+
+def test_config_from_plan_and_matrix_integration():
+    m = FlashSparseMatrix.from_scipy(random_csr(128, 128, 0.08, seed=6).to_scipy())
+    assert m.content_key() == m.csr.content_key()
+    plan = m.plan(32, op="spmm", max_intermediate_bytes=50_000)
+    config = FlashSparseConfig.from_plan(plan)
+    assert config.max_intermediate_bytes == plan.max_intermediate_bytes
+    assert config.workers == plan.workers
+    assert config.block_chunk == plan.block_chunk
+    ref = FlashSparseConfig.from_plan(plan, engine="reference")
+    assert ref.engine == "reference"
+    sp = m.plan(16, op="sddmm")
+    assert sp.op == "sddmm"
+    with pytest.raises(ValueError):
+        m.plan(16, op="gemm")
+
+
+def test_planner_budget_enforced_by_tracemalloc():
+    """The acceptance gate: a planned run's peak allocation stays within the
+    declared budget; an unplanned one-shot run blows far past it."""
+    csr = random_csr(2400, 2200, 0.02, seed=7)
+    fmt = MEBCRSMatrix.from_csr(csr, precision="fp16")
+    n_dense = 256
+    rng = np.random.default_rng(7)
+    b_q = rng.standard_normal((2200, n_dense)).astype(np.float32)
+
+    resident = plan_spmm(fmt, n_dense).meta["resident_bytes"]
+    device = _tiny_device(resident + 8 * 2**20)  # ~2 MiB workspace at 25%
+    plan = plan_spmm(fmt, n_dense, device=device, workers=1)
+    assert plan.max_intermediate_bytes <= 2 * 2**20 + 2**18
+    config = FlashSparseConfig.from_plan(plan)
+
+    one_shot_bytes = plan.num_blocks * plan.bytes_per_block
+    assert one_shot_bytes > 10 * plan.max_intermediate_bytes  # test has teeth
+
+    fmt.blocks_as_arrays()  # exclude the one-time batch packing from the peak
+    spmm_batched(fmt, b_q, Precision.FP16, **config.engine_stream_kwargs)  # warm
+
+    tracemalloc.start()
+    try:
+        tracemalloc.clear_traces()
+        spmm_batched(fmt, b_q, Precision.FP16, **config.engine_stream_kwargs)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+
+    # Engine-side allocations: the output (rows × N × 4) plus the streamed
+    # chunk slabs and their reduction temporaries, bounded by the workspace
+    # (2× for the scatter temporaries that mirror one chunk's slab).
+    out_bytes = csr.n_rows * n_dense * 4
+    allowance = 2 * plan.max_intermediate_bytes + out_bytes + 2**20
+    assert peak <= allowance, (
+        f"planned peak {peak} exceeds budget allowance {allowance} "
+        f"(workspace {plan.max_intermediate_bytes})"
+    )
+    # And the one-shot path could not have fit in that allowance.
+    assert one_shot_bytes > allowance

@@ -1,0 +1,205 @@
+"""Multi-process shard scheduler: bit-exact parity, retry, range invariants.
+
+The contract is stronger than the thread-streaming one: because shards are
+window-aligned and reduced one-shot per window, the scheduler's output is
+**bit-identical** to the single-process ``engine="batched"`` one-shot path
+for both SpMM and SDDMM, for any shard size, any worker count, through the
+process pool or inline, and across injected shard failures (retry and
+in-parent fallback included).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from helpers import random_csr
+
+from repro.formats.mebcrs import MEBCRSMatrix
+from repro.kernels.common import FlashSparseConfig
+from repro.kernels.engine import window_aligned_ranges
+from repro.kernels.sddmm_flash import VECTORS_PER_OUTPUT_BLOCK, sddmm_flash_execute
+from repro.kernels.spmm_flash import spmm_flash_execute
+from repro.precision.types import Precision, quantize
+from repro.serve.scheduler import ShardScheduler
+
+#: Shard-size grid: single-block shards, a prime that straddles windows,
+#: and larger-than-batch (single shard).
+TARGETS = (1, 7, 10_000)
+
+
+def _workload(seed=4, n=33, rows=300, cols=280, density=0.05):
+    csr = random_csr(rows, cols, density, seed=seed)
+    fmt = MEBCRSMatrix.from_csr(csr, precision="fp16")
+    rng = np.random.default_rng(seed)
+    b_q = quantize(rng.standard_normal((cols, n)), Precision.FP16).astype(np.float32)
+    a_q = quantize(rng.standard_normal((rows, n)), Precision.FP16).astype(np.float32)
+    base = spmm_flash_execute(fmt, b_q, FlashSparseConfig(precision="fp16"))
+    sbase = sddmm_flash_execute(fmt, a_q, b_q, FlashSparseConfig(precision="fp16"))
+    return fmt, a_q, b_q, base.values, sbase.output.vector_values
+
+
+# One process pool per module: worker startup is the slow part.
+@pytest.fixture(scope="module")
+def pool():
+    with ShardScheduler(workers=2) as scheduler:
+        yield scheduler
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_spmm_inline_sharding_is_bit_identical(target):
+    fmt, _, b_q, base, _ = _workload()
+    out = ShardScheduler(workers=1).run_spmm(fmt, b_q, Precision.FP16, target_blocks=target)
+    np.testing.assert_array_equal(out, base)
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_spmm_pool_sharding_is_bit_identical(pool, target):
+    fmt, _, b_q, base, _ = _workload()
+    out = pool.run_spmm(fmt, b_q, Precision.FP16, target_blocks=target)
+    np.testing.assert_array_equal(out, base)
+
+
+@pytest.mark.parametrize("target", (1, 10_000))
+def test_sddmm_pool_sharding_is_bit_identical(pool, target):
+    fmt, a_q, b_q, _, sbase = _workload()
+    vals = pool.run_sddmm(
+        fmt, a_q, b_q, Precision.FP16, VECTORS_PER_OUTPUT_BLOCK, target_blocks=target
+    )
+    np.testing.assert_array_equal(vals, sbase)
+
+
+def test_sddmm_scale_by_mask_parity(pool):
+    fmt, a_q, b_q, _, _ = _workload(seed=9)
+    ref = sddmm_flash_execute(
+        fmt, a_q, b_q, FlashSparseConfig(precision="fp16"), scale_by_mask=True
+    )
+    vals = pool.run_sddmm(
+        fmt,
+        a_q,
+        b_q,
+        Precision.FP16,
+        VECTORS_PER_OUTPUT_BLOCK,
+        scale_by_mask=True,
+        target_blocks=5,
+    )
+    np.testing.assert_array_equal(vals, ref.output.vector_values)
+
+
+def test_randomized_parity_suite(pool):
+    """The acceptance criterion's randomized sweep: multiple shapes/seeds,
+    bit-identical values through the multi-process path."""
+    for seed in (11, 12, 13):
+        rng = np.random.default_rng(seed)
+        rows = int(rng.integers(50, 400))
+        cols = int(rng.integers(50, 400))
+        n = int(rng.integers(1, 50))
+        fmt, a_q, b_q, base, sbase = _workload(
+            seed=seed, n=n, rows=rows, cols=cols, density=0.06
+        )
+        target = int(rng.integers(1, 20))
+        out = pool.run_spmm(fmt, b_q, Precision.FP16, target_blocks=target)
+        np.testing.assert_array_equal(out, base)
+        vals = pool.run_sddmm(
+            fmt, a_q, b_q, Precision.FP16, VECTORS_PER_OUTPUT_BLOCK, target_blocks=target
+        )
+        np.testing.assert_array_equal(vals, sbase)
+
+
+def test_shard_retry_recovers_and_counts(pool):
+    fmt, _, b_q, base, _ = _workload(seed=21)
+    before = dict(pool.stats)
+    out = pool.run_spmm(
+        fmt, b_q, Precision.FP16, target_blocks=7, _inject_failures={0: 1, 1: 2}
+    )
+    np.testing.assert_array_equal(out, base)
+    assert pool.stats["retries"] >= before["retries"] + 3
+    assert pool.stats["fallbacks"] == before["fallbacks"]
+
+
+def test_shard_exhausted_retries_fall_back_inline(pool):
+    fmt, a_q, b_q, base, sbase = _workload(seed=22)
+    before = dict(pool.stats)
+    # fail more times than the retry budget: the parent computes the shard.
+    out = pool.run_spmm(
+        fmt, b_q, Precision.FP16, target_blocks=7, _inject_failures={2: 99}
+    )
+    np.testing.assert_array_equal(out, base)
+    assert pool.stats["fallbacks"] == before["fallbacks"] + 1
+    vals = pool.run_sddmm(
+        fmt,
+        a_q,
+        b_q,
+        Precision.FP16,
+        VECTORS_PER_OUTPUT_BLOCK,
+        target_blocks=7,
+        _inject_failures={0: 99},
+    )
+    np.testing.assert_array_equal(vals, sbase)
+
+
+def test_degenerate_inputs():
+    empty = MEBCRSMatrix.from_csr(
+        random_csr(24, 18, 0.0, ensure_nonempty=False, seed=1), precision="fp16"
+    )
+    sched = ShardScheduler(workers=1)
+    out = sched.run_spmm(empty, np.ones((18, 5), np.float32), Precision.FP16)
+    assert out.shape == (24, 5) and not out.any()
+    vals = sched.run_sddmm(
+        empty,
+        np.ones((24, 5), np.float32),
+        np.ones((18, 5), np.float32),
+        Precision.FP16,
+        VECTORS_PER_OUTPUT_BLOCK,
+    )
+    assert vals.shape == empty.vector_values.shape
+
+
+def test_window_aligned_ranges_invariants():
+    # Window block offsets with empty windows at the front, middle and back.
+    offsets = np.array([0, 0, 3, 3, 10, 12, 12], dtype=np.int64)
+    for target in (1, 2, 5, 100):
+        ranges = window_aligned_ranges(offsets, target)
+        assert ranges, f"no ranges at target {target}"
+        # Full coverage of all blocks, in order, without overlap.
+        assert ranges[0].lo == 0 and ranges[-1].hi == 12
+        for r0, r1 in zip(ranges, ranges[1:]):
+            assert r0.hi == r1.lo and r0.w1 == r1.w0
+        for r in ranges:
+            # Window alignment: boundaries sit on window starts.
+            assert r.lo == offsets[r.w0] and r.hi == offsets[r.w1]
+            assert r.num_blocks > 0
+    # A window wider than the target becomes its own shard (never split).
+    ranges = window_aligned_ranges(offsets, 2)
+    assert any(r.num_blocks == 7 for r in ranges)
+    # Degenerate: no blocks at all.
+    assert window_aligned_ranges(np.array([0, 0, 0]), 4) == []
+
+
+def test_pool_survives_broken_worker_process():
+    """A shard that kills its worker outright still completes via retry or
+    fallback, and the scheduler can serve the next request."""
+    fmt, _, b_q, base, _ = _workload(seed=23)
+    with ShardScheduler(workers=2, retries=1) as sched:
+        import repro.serve.scheduler as sched_mod
+
+        original = sched_mod._WORKER_BODIES["spmm"]
+
+        def killer(task):
+            if task.get("fail_times", 0) >= 100 and task["attempt"] == 1:
+                import os
+
+                os._exit(13)  # simulate a crashed worker, not an exception
+            return original(task)
+
+        sched_mod._WORKER_BODIES["spmm"] = killer
+        try:
+            out = sched.run_spmm(
+                fmt, b_q, Precision.FP16, target_blocks=7, _inject_failures={1: 100}
+            )
+        finally:
+            sched_mod._WORKER_BODIES["spmm"] = original
+        np.testing.assert_array_equal(out, base)
+        # The scheduler still works after the pool broke.
+        out2 = sched.run_spmm(fmt, b_q, Precision.FP16, target_blocks=7)
+        np.testing.assert_array_equal(out2, base)
