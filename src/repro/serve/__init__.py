@@ -19,20 +19,37 @@ The four pieces:
   shared-memory dense operands, bit-identical to the single-process
   one-shot engine);
 * :mod:`repro.serve.server` — the request frontend (futures, same-matrix
-  batching, per-request cost counters);
-* :mod:`repro.serve.metrics` — latency percentiles, queue depth and the
-  translation-cache hit/miss counters.
+  batching, per-request cost counters, bounded admission and request
+  deadlines for overload safety);
+* :mod:`repro.serve.metrics` — latency percentiles (end-to-end plus the
+  queue-wait / execution split), queue depth, overload counters and the
+  translation-cache hit/miss counters;
+* :mod:`repro.serve.errors` — the failure taxonomy clients dispatch on
+  (overloaded / timed out / closed / dispatcher crashed).
 """
 
-from repro.serve.metrics import MetricsSnapshot, ServeMetrics
+from repro.serve.errors import (
+    DispatcherCrashedError,
+    ServeError,
+    ServeTimeoutError,
+    ServerClosedError,
+    ServerOverloadedError,
+)
+from repro.serve.metrics import LatencyStats, MetricsSnapshot, ServeMetrics
 from repro.serve.planner import ServePlan, plan_sddmm, plan_spmm
 from repro.serve.scheduler import ShardScheduler
 from repro.serve.server import Server, ServeRequest
 
 __all__ = [
+    "DispatcherCrashedError",
+    "LatencyStats",
     "MetricsSnapshot",
+    "ServeError",
     "ServeMetrics",
     "ServePlan",
+    "ServeTimeoutError",
+    "ServerClosedError",
+    "ServerOverloadedError",
     "ShardScheduler",
     "Server",
     "ServeRequest",

@@ -10,6 +10,21 @@ delta excludes cache traffic from before the server started, but the cache
 is process-global: kernel calls made concurrently outside the server
 (e.g. a training loop in another thread) land in the same counters.
 
+Requests additionally record the **queue-wait / execution split**: how
+long the request sat in the queue before the dispatcher picked it up (or
+shed it — timed-out requests land in the queue-wait reservoir too, their
+wait *is* the overload diagnostic) versus, for completed requests, how
+long the engine pass took.  Under overload the split is the signal that
+matters — end-to-end latency explodes through queue wait while execution
+time stays flat — and the open-loop benchmark
+(``benchmarks/bench_serve_openloop.py``) gates on exactly that signature.
+
+Overload outcomes get their own counters: ``rejected`` requests were
+turned away at admission (they never entered the queue and are *not*
+counted as submitted), ``timed_out`` requests expired in the queue and
+were shed before execution.  The in-flight identity is therefore
+``in_flight == submitted - completed - failed - timed_out``.
+
 Everything is lock-guarded: clients resolve futures on pool threads while
 the dispatch thread updates queue gauges.
 """
@@ -31,12 +46,43 @@ LATENCY_RESERVOIR = 16384
 
 
 @dataclass(frozen=True)
+class LatencyStats:
+    """Percentile summary of one bounded latency reservoir (seconds)."""
+
+    p50_s: float = 0.0
+    p95_s: float = 0.0
+    p99_s: float = 0.0
+    mean_s: float = 0.0
+    count: int = 0
+
+
+def _summarise(samples: deque) -> LatencyStats:
+    if not samples:
+        return LatencyStats()
+    arr = np.asarray(samples, dtype=np.float64)
+    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+    return LatencyStats(
+        p50_s=float(p50),
+        p95_s=float(p95),
+        p99_s=float(p99),
+        mean_s=float(arr.mean()),
+        count=int(arr.size),
+    )
+
+
+@dataclass(frozen=True)
 class MetricsSnapshot:
     """Point-in-time view of a server's metrics."""
 
     requests_submitted: int
     requests_completed: int
     requests_failed: int
+    #: Turned away at admission (``max_queue_depth`` + ``"reject"`` policy);
+    #: never entered the queue, not counted in ``requests_submitted``.
+    requests_rejected: int
+    #: Deadline expired in the queue; shed before execution with
+    #: :class:`~repro.serve.errors.ServeTimeoutError`.
+    requests_timed_out: int
     #: Engine passes dispatched (a batch of same-matrix requests is one).
     batches_dispatched: int
     #: Requests that shared an engine pass with at least one other request.
@@ -48,6 +94,14 @@ class MetricsSnapshot:
     latency_p95_s: float
     latency_p99_s: float
     latency_mean_s: float
+    #: Time requests spent queued before the dispatcher drained (or shed)
+    #: them.  Covers completed *and* timed-out requests — a shed request's
+    #: wait is the overload diagnostic — so ``queue_wait.count`` can exceed
+    #: ``execution.count``.
+    queue_wait: LatencyStats
+    #: Dequeue-to-resolution time (grouping + engine pass + result split)
+    #: of *completed* requests only.
+    execution: LatencyStats
     #: Translation-cache counters since this server's metrics were reset.
     cache: CacheStats
     meta: dict = field(default_factory=dict)
@@ -55,7 +109,18 @@ class MetricsSnapshot:
     @property
     def in_flight(self) -> int:
         """Requests submitted but not yet resolved."""
-        return self.requests_submitted - self.requests_completed - self.requests_failed
+        return (
+            self.requests_submitted
+            - self.requests_completed
+            - self.requests_failed
+            - self.requests_timed_out
+        )
+
+    @property
+    def requests_shed(self) -> int:
+        """Requests the server refused to execute under overload (rejected
+        at admission plus timed out in the queue)."""
+        return self.requests_rejected + self.requests_timed_out
 
 
 def _delta(now: CacheStats, base: CacheStats) -> CacheStats:
@@ -74,9 +139,13 @@ class ServeMetrics:
     def __init__(self) -> None:
         self._lock = Lock()
         self._latencies: deque[float] = deque(maxlen=LATENCY_RESERVOIR)
+        self._queue_waits: deque[float] = deque(maxlen=LATENCY_RESERVOIR)
+        self._exec_times: deque[float] = deque(maxlen=LATENCY_RESERVOIR)
         self._submitted = 0
         self._completed = 0
         self._failed = 0
+        self._rejected = 0
+        self._timed_out = 0
         self._batches = 0
         self._coalesced = 0
         self._queue_depth = 0
@@ -94,6 +163,17 @@ class ServeMetrics:
         with self._lock:
             self._queue_depth -= n
 
+    def record_rejected(self, n: int = 1) -> None:
+        """Count ``n`` requests refused at admission (queue full)."""
+        with self._lock:
+            self._rejected += n
+
+    def record_timed_out(self, queue_wait_s: float) -> None:
+        """Count one request shed because its deadline expired in the queue."""
+        with self._lock:
+            self._timed_out += 1
+            self._queue_waits.append(float(queue_wait_s))
+
     def record_batch(self, size: int) -> None:
         """Count one dispatched engine pass covering ``size`` requests."""
         with self._lock:
@@ -101,11 +181,21 @@ class ServeMetrics:
             if size > 1:
                 self._coalesced += size
 
-    def record_completed(self, latency_s: float) -> None:
-        """Count one successful request and its end-to-end latency."""
+    def record_completed(
+        self,
+        latency_s: float,
+        queue_wait_s: float | None = None,
+        execution_s: float | None = None,
+    ) -> None:
+        """Count one successful request, its end-to-end latency and
+        (when the caller knows the dequeue time) the wait/execute split."""
         with self._lock:
             self._completed += 1
             self._latencies.append(float(latency_s))
+            if queue_wait_s is not None:
+                self._queue_waits.append(float(queue_wait_s))
+            if execution_s is not None:
+                self._exec_times.append(float(execution_s))
 
     def record_failed(self, latency_s: float) -> None:
         """Count one failed request (latency still recorded: failures queue
@@ -123,23 +213,22 @@ class ServeMetrics:
     def snapshot(self, **meta) -> MetricsSnapshot:
         """Consistent snapshot of every counter and percentile."""
         with self._lock:
-            lat = np.asarray(self._latencies, dtype=np.float64)
-            if lat.size:
-                p50, p95, p99 = np.percentile(lat, [50.0, 95.0, 99.0])
-                mean = float(lat.mean())
-            else:
-                p50 = p95 = p99 = mean = 0.0
+            overall = _summarise(self._latencies)
             return MetricsSnapshot(
                 requests_submitted=self._submitted,
                 requests_completed=self._completed,
                 requests_failed=self._failed,
+                requests_rejected=self._rejected,
+                requests_timed_out=self._timed_out,
                 batches_dispatched=self._batches,
                 requests_coalesced=self._coalesced,
                 queue_depth=self._queue_depth,
-                latency_p50_s=float(p50),
-                latency_p95_s=float(p95),
-                latency_p99_s=float(p99),
-                latency_mean_s=mean,
+                latency_p50_s=overall.p50_s,
+                latency_p95_s=overall.p95_s,
+                latency_p99_s=overall.p99_s,
+                latency_mean_s=overall.mean_s,
+                queue_wait=_summarise(self._queue_waits),
+                execution=_summarise(self._exec_times),
                 cache=_delta(format_cache_stats(), self._cache_base),
                 meta=dict(meta),
             )

@@ -35,6 +35,7 @@ exact equality, not allclose.
 from __future__ import annotations
 
 import multiprocessing as mp
+import threading
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 
@@ -222,7 +223,11 @@ class ShardScheduler:
         self._mp_context = mp.get_context(start_method) if start_method else mp.get_context()
         self._pool: ProcessPoolExecutor | None = None
         #: Lifetime counters: shards run, retries performed, inline fallbacks.
+        #: Mutated by the dispatching thread under ``_stats_lock``; read via
+        #: :meth:`stats_snapshot` (client threads snapshot while `_dispatch`
+        #: runs, so unguarded reads could observe mid-update state).
         self.stats = {"shards": 0, "retries": 0, "fallbacks": 0, "requests": 0}
+        self._stats_lock = threading.Lock()
 
     # --------------------------------------------------------------- plumbing
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -246,6 +251,15 @@ class ShardScheduler:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
 
+    def stats_snapshot(self) -> dict:
+        """Consistent copy of the lifetime counters (safe from any thread)."""
+        with self._stats_lock:
+            return dict(self.stats)
+
+    def _count(self, key: str, n: int = 1) -> None:
+        with self._stats_lock:
+            self.stats[key] += n
+
     def __enter__(self) -> "ShardScheduler":
         return self
 
@@ -259,8 +273,8 @@ class ShardScheduler:
         the parent's own arrays once a shard exhausts its retries (or when
         the pool itself breaks).
         """
-        self.stats["requests"] += 1
-        self.stats["shards"] += len(tasks)
+        self._count("requests")
+        self._count("shards", len(tasks))
         if self.workers <= 1 or len(tasks) == 0:
             for task in tasks:
                 inline_body(task)
@@ -274,17 +288,17 @@ class ShardScheduler:
                     continue
                 if task["attempt"] <= self.retries:
                     task = dict(task, attempt=task["attempt"] + 1)
-                    self.stats["retries"] += 1
+                    self._count("retries")
                     try:
                         pending[self._ensure_pool().submit(_run_task, task)] = task
                     except Exception:
                         # Pool broken (dead workers): drop it so the next
                         # submit builds a fresh one, run this shard inline.
                         self._discard_pool()
-                        self.stats["fallbacks"] += 1
+                        self._count("fallbacks")
                         inline_body(task)
                 else:
-                    self.stats["fallbacks"] += 1
+                    self._count("fallbacks")
                     inline_body(task)
 
     # ------------------------------------------------------------------ SpMM

@@ -16,13 +16,46 @@ executes them on the shared backend):
   and window reductions act per output element along the dense axis, so the
   split results are bit-identical to running each request alone;
 * execution honours a :class:`~repro.serve.planner.ServePlan` — derived per
-  (matrix, width) from the server's device budget and memoised — and runs
-  on the multi-process :class:`~repro.serve.scheduler.ShardScheduler` when
-  the server has workers, inline otherwise;
+  (matrix, width) from the server's device budget and memoised in a small
+  LRU — and runs on the multi-process
+  :class:`~repro.serve.scheduler.ShardScheduler` when the server has
+  workers, inline otherwise;
 * every request resolves with a result carrying the same ``values`` /
   ``counter`` / ``useful_flops`` a direct :func:`repro.core.api.spmm` call
   would produce: cost counters come from the closed-form cost pass, which
   is exactly independent of batching and sharding.
+
+Overload behaviour
+------------------
+The server is designed to stay well-behaved when offered load exceeds
+capacity (the open-loop regime ``benchmarks/bench_serve_openloop.py``
+measures):
+
+* **Bounded admission** — ``max_queue_depth`` caps the number of queued
+  (not-yet-dispatched) requests.  The per-server ``admission`` policy picks
+  what happens at the cap: ``"block"`` parks the submitting thread until a
+  slot frees (closed-loop clients self-throttle), ``"reject"`` fails fast
+  with :class:`~repro.serve.errors.ServerOverloadedError` (open-loop
+  traffic is turned away at the door instead of growing the queue without
+  bound).
+* **Request deadlines** — ``submit_*(..., timeout=s)`` attaches a deadline.
+  A request whose deadline has passed when the dispatcher picks it up (or
+  when its group finally reaches execution) is failed with
+  :class:`~repro.serve.errors.ServeTimeoutError` *before* the engine runs:
+  under overload the server sheds queued work whose client has given up
+  rather than burning capacity on dead results.
+* **Crash containment** — the dispatch loop is guarded end to end.  If it
+  dies outside the per-group execution guard, every queued and in-batch
+  future is failed with
+  :class:`~repro.serve.errors.DispatcherCrashedError` (original error as
+  ``__cause__``), :attr:`Server.healthy` flips to ``False`` and later
+  submits fail fast — no future is ever silently stranded.
+* **Drain-aware shutdown** — the dispatcher owns the scheduler teardown:
+  the pool is closed only after the dispatch loop has drained (or
+  crashed), never out from under an in-flight batch.  ``close(wait=True)``
+  joins the dispatcher; give it a ``timeout`` to bound the wait, and the
+  expiry is surfaced as :class:`~repro.serve.errors.ServeTimeoutError`
+  (the drain keeps running — call ``close`` again to keep waiting).
 """
 
 from __future__ import annotations
@@ -31,6 +64,7 @@ import os
 import queue
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass
 
@@ -48,6 +82,12 @@ from repro.kernels.sddmm_flash import (
 from repro.kernels.spmm_flash import spmm_flash_cost
 from repro.perfmodel.model import sddmm_useful_flops, spmm_useful_flops
 from repro.precision.types import Precision, quantize
+from repro.serve.errors import (
+    DispatcherCrashedError,
+    ServeTimeoutError,
+    ServerClosedError,
+    ServerOverloadedError,
+)
 from repro.serve.metrics import MetricsSnapshot, ServeMetrics
 from repro.serve.planner import MAX_PLANNED_WORKERS, ServePlan, plan_sddmm, plan_spmm
 from repro.serve.scheduler import ShardScheduler
@@ -58,6 +98,15 @@ from repro.utils.validation import check_dense_matrix
 #: batch to fill (the dispatch loop never waits — it batches whatever is
 #: already queued — so this is a width cap, not a time window).
 DEFAULT_MAX_BATCH = 8
+
+#: Memoised (format, op, width) → plan entries kept per server.  Eviction is
+#: LRU (mirroring :class:`~repro.formats.cache.TranslationCache`): a hot
+#: plan — the same graph served at the same width on every request — stays
+#: resident however many cold one-off widths pass through.
+PLAN_CACHE_CAPACITY = 256
+
+#: Admission policies for a full queue (see :class:`Server`).
+ADMISSION_POLICIES = ("block", "reject")
 
 
 @dataclass
@@ -72,6 +121,9 @@ class ServeRequest:
     scale_by_mask: bool = False
     future: Future | None = None
     submitted_at: float = 0.0
+    #: Absolute ``perf_counter`` deadline; ``None`` means wait forever.
+    deadline: float | None = None
+    dequeued_at: float = 0.0
 
 
 @dataclass
@@ -98,6 +150,22 @@ class Server:
         Maximum same-matrix requests coalesced into one engine pass.
     retries:
         Per-shard retry budget of the scheduler.
+    max_queue_depth:
+        Cap on queued (not-yet-dispatched) requests.  ``None`` (default)
+        leaves admission unbounded — the pre-overload-hardening behaviour,
+        only sensible for trusted closed-loop clients.
+    admission:
+        Policy at the queue cap: ``"block"`` parks the submitter until a
+        slot frees, ``"reject"`` raises
+        :class:`~repro.serve.errors.ServerOverloadedError` immediately.
+
+    Attributes
+    ----------
+    healthy:
+        ``False`` once the dispatch thread has died; every pending future
+        has then been failed with
+        :class:`~repro.serve.errors.DispatcherCrashedError` and new
+        submits raise the same.
     """
 
     def __init__(
@@ -109,12 +177,20 @@ class Server:
         max_batch: int = DEFAULT_MAX_BATCH,
         retries: int | None = None,
         start_method: str | None = None,
+        max_queue_depth: int | None = None,
+        admission: str = "block",
     ):
         self.device = device if (device is None or isinstance(device, GPUSpec)) else get_device(device)
         self.precision = Precision(precision)
         self.requested_workers = workers
         self.workspace_fraction = workspace_fraction
         self.max_batch = max(1, int(max_batch))
+        if admission not in ADMISSION_POLICIES:
+            raise ValueError(f"admission must be one of {ADMISSION_POLICIES}, got {admission!r}")
+        if max_queue_depth is not None and int(max_queue_depth) < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or None for unbounded)")
+        self.max_queue_depth = None if max_queue_depth is None else int(max_queue_depth)
+        self.admission = admission
         self.metrics = ServeMetrics()
         sched_kwargs = {} if retries is None else {"retries": retries}
         # Pool size: the planner may use fewer workers per request, never
@@ -123,29 +199,53 @@ class Server:
         self.scheduler = ShardScheduler(
             workers=pool_size, start_method=start_method, **sched_kwargs
         )
-        self._plans: dict[tuple, tuple[BlockedVectorFormat, ServePlan]] = {}
+        self._plans: "OrderedDict[tuple, tuple[BlockedVectorFormat, ServePlan]]" = OrderedDict()
+        self._plan_capacity = PLAN_CACHE_CAPACITY
         self._queue: "queue.SimpleQueue[ServeRequest | _Stop]" = queue.SimpleQueue()
-        # Serialises submit vs close: nothing can enter the queue after the
-        # _Stop sentinel, so no future can be stranded by a shutdown race.
+        # Serialises submit vs close vs crash: nothing can enter the queue
+        # after the _Stop sentinel (or after the crash handler drained it),
+        # so no future can be stranded by a shutdown race.  The condition
+        # doubles as the admission gate "block" submitters wait on.
         self._submit_lock = threading.Lock()
+        self._admission = threading.Condition(self._submit_lock)
+        self._queued = 0  # authoritative queue depth for admission
         self._closed = False
+        self.healthy = True
+        self._crash_cause: BaseException | None = None
+        #: Requests drained from the queue but not yet executed — visible to
+        #: the crash handler so a fault between drain and execution cannot
+        #: strand them.
+        self._in_dispatch: list[ServeRequest] = []
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
         )
         self._dispatcher.start()
 
     # ----------------------------------------------------------- client API
-    def submit_spmm(self, matrix, b: np.ndarray):
-        """Enqueue ``matrix @ b``; returns a Future of :class:`SpmmResult`."""
+    def submit_spmm(self, matrix, b: np.ndarray, timeout: float | None = None):
+        """Enqueue ``matrix @ b``; returns a Future of :class:`SpmmResult`.
+
+        ``timeout`` (seconds) is a queueing deadline: if the request is
+        still waiting for dispatch when it expires, the server sheds it and
+        the future raises :class:`~repro.serve.errors.ServeTimeoutError`.
+        """
         inp = _as_input(matrix)
         b = check_dense_matrix(np.asarray(b), "b", n_rows=inp.shape[1])
         return self._enqueue(
-            ServeRequest(op="spmm", csr=inp.csr, key=inp.csr.content_key(), b=b)
+            ServeRequest(op="spmm", csr=inp.csr, key=inp.csr.content_key(), b=b),
+            timeout,
         )
 
-    def submit_sddmm(self, mask, a: np.ndarray, b: np.ndarray, scale_by_mask: bool = False):
+    def submit_sddmm(
+        self,
+        mask,
+        a: np.ndarray,
+        b: np.ndarray,
+        scale_by_mask: bool = False,
+        timeout: float | None = None,
+    ):
         """Enqueue a sampled dense×dense; returns a Future of
-        :class:`SddmmResult`."""
+        :class:`SddmmResult`.  ``timeout`` as for :meth:`submit_spmm`."""
         inp = _as_input(mask)
         a = check_dense_matrix(np.asarray(a), "a", n_rows=inp.shape[0])
         b = check_dense_matrix(np.asarray(b), "b", n_rows=inp.shape[1])
@@ -159,15 +259,38 @@ class Server:
                 b=b,
                 a=a,
                 scale_by_mask=scale_by_mask,
-            )
+            ),
+            timeout,
         )
 
-    def _enqueue(self, req: ServeRequest) -> Future:
+    def _check_open(self) -> None:
+        """Raise if the server cannot take this request (lock held)."""
+        if self._closed:
+            raise ServerClosedError("server is closed")
+        if not self.healthy:
+            err = DispatcherCrashedError("serve dispatcher has crashed; server is unhealthy")
+            err.__cause__ = self._crash_cause
+            raise err
+
+    def _enqueue(self, req: ServeRequest, timeout: float | None) -> Future:
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None for no deadline)")
         req.future = Future()
         req.submitted_at = time.perf_counter()
-        with self._submit_lock:
-            if self._closed:
-                raise RuntimeError("server is closed")
+        if timeout is not None:
+            req.deadline = req.submitted_at + timeout
+        with self._admission:
+            self._check_open()
+            if self.max_queue_depth is not None and self._queued >= self.max_queue_depth:
+                if self.admission == "reject":
+                    self.metrics.record_rejected()
+                    raise ServerOverloadedError(
+                        f"queue full ({self._queued}/{self.max_queue_depth} requests queued)"
+                    )
+                while self._queued >= self.max_queue_depth:
+                    self._admission.wait()
+                    self._check_open()
+            self._queued += 1
             self.metrics.record_submitted()
             self._queue.put(req)
         return req.future
@@ -175,19 +298,37 @@ class Server:
     def snapshot(self) -> MetricsSnapshot:
         """Current metrics (see :mod:`repro.serve.metrics`)."""
         return self.metrics.snapshot(
-            scheduler=dict(self.scheduler.stats), workers=self.scheduler.workers
+            scheduler=self.scheduler.stats_snapshot(),
+            workers=self.scheduler.workers,
+            healthy=self.healthy,
         )
 
-    def close(self, wait: bool = True) -> None:
-        """Stop accepting requests, drain the queue, shut the pool down."""
-        with self._submit_lock:
-            if self._closed:
-                return
-            self._closed = True
-            self._queue.put(_Stop())
+    def close(self, wait: bool = True, timeout: float | None = None) -> None:
+        """Stop accepting requests and drain the queue.
+
+        The dispatch thread shuts the worker pool down itself once the
+        drain finishes, so an in-flight batch is never separated from its
+        pool.  With ``wait=True`` (default) this call joins the dispatcher:
+        ``timeout=None`` waits for the full drain; a numeric timeout bounds
+        the wait and raises :class:`~repro.serve.errors.ServeTimeoutError`
+        if the drain is still running when it expires (the drain continues
+        in the background — call ``close`` again to keep waiting).
+        """
+        with self._admission:
+            if not self._closed:
+                self._closed = True
+                self._queue.put(_Stop())
+            # Wake "block"-policy submitters parked at the admission gate so
+            # they observe the close and raise instead of waiting forever.
+            self._admission.notify_all()
         if wait:
-            self._dispatcher.join(timeout=60.0)
-        self.scheduler.close()
+            self._dispatcher.join(timeout)
+            if self._dispatcher.is_alive():
+                raise ServeTimeoutError(
+                    f"serve dispatcher still draining after {timeout}s; "
+                    "the pool stays up until the drain completes — "
+                    "call close() again to keep waiting"
+                )
 
     def __enter__(self) -> "Server":
         return self
@@ -197,6 +338,16 @@ class Server:
 
     # -------------------------------------------------------- dispatch loop
     def _dispatch_loop(self) -> None:
+        try:
+            self._run_dispatch()
+        except BaseException as exc:  # crash guard: never strand a future
+            self._handle_crash(exc)
+        finally:
+            # The dispatcher owns pool teardown: this runs only after the
+            # loop has drained (or crashed), never under a running batch.
+            self.scheduler.close()
+
+    def _run_dispatch(self) -> None:
         stopping = False
         while not stopping:
             try:
@@ -218,10 +369,77 @@ class Server:
                     stopping = True
                 else:
                     drained.append(nxt)
-            if drained:
-                self.metrics.record_dequeued(len(drained))
-                for group in self._group(drained):
-                    self._execute_group(group)
+            if not drained:
+                continue
+            self._in_dispatch = drained
+            now = time.perf_counter()
+            for req in drained:
+                req.dequeued_at = now
+            self.metrics.record_dequeued(len(drained))
+            with self._admission:
+                self._queued -= len(drained)
+                self._admission.notify_all()
+            for group in self._group(self._shed_expired(drained, now)):
+                self._execute_group(group)
+            self._in_dispatch = []
+
+    def _shed_expired(self, requests: list[ServeRequest], now: float) -> list[ServeRequest]:
+        """Fail deadline-expired requests before execution; return the rest."""
+        live: list[ServeRequest] = []
+        for req in requests:
+            if req.deadline is None or now <= req.deadline:
+                live.append(req)
+            elif not req.future.done():
+                waited = now - req.submitted_at
+                req.future.set_exception(
+                    ServeTimeoutError(
+                        f"request shed: deadline exceeded after {waited:.3f}s in queue"
+                    )
+                )
+                self.metrics.record_timed_out(waited)
+            # Expired *and* already resolved (e.g. client-cancelled while
+            # queued): drop it — executing would set_result on a done future.
+        return live
+
+    def _handle_crash(self, exc: BaseException) -> None:
+        """Fail every pending future and flip :attr:`healthy` (crash path)."""
+        with self._admission:
+            self.healthy = False
+            self._crash_cause = exc
+            stranded = list(self._in_dispatch)
+            self._in_dispatch = []
+            from_queue = 0
+            while True:
+                try:
+                    nxt = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if not isinstance(nxt, _Stop):
+                    stranded.append(nxt)
+                    from_queue += 1
+            self._queued = 0
+            # Wake blocked submitters: they re-check and see the crash.
+            self._admission.notify_all()
+        now = time.perf_counter()
+        failed: list[ServeRequest] = []
+        for req in stranded:
+            if req.future.done():
+                # Already resolved (completed or shed) before the crash —
+                # its terminal outcome is counted; don't double-count.
+                continue
+            err = DispatcherCrashedError("serve dispatcher crashed; request abandoned")
+            err.__cause__ = exc
+            req.future.set_exception(err)
+            failed.append(req)
+        # Metrics last, and guarded: the crash may *be* a metrics fault, and
+        # accounting must never keep a future from resolving.
+        try:
+            if from_queue:
+                self.metrics.record_dequeued(from_queue)
+            for req in failed:
+                self.metrics.record_failed(now - req.submitted_at)
+        except Exception:
+            pass
 
     def _group(self, requests: list[ServeRequest]) -> list[list[ServeRequest]]:
         """Group by (op, matrix content, operand compatibility), preserving
@@ -250,18 +468,25 @@ class Server:
         # The pinned fmt reference both prevents id-reuse aliasing (a GC'd
         # format's id recycled by a different matrix) and is verified anyway.
         if entry is not None and entry[0] is fmt:
+            self._plans.move_to_end(key)
             return entry[1]
         planner = plan_spmm if op == "spmm" else plan_sddmm
         kwargs = {"workers": self.requested_workers}
         if self.workspace_fraction is not None:
             kwargs["workspace_fraction"] = self.workspace_fraction
         plan = planner(fmt, width, device=self.device, precision=self.precision, **kwargs)
-        if len(self._plans) > 256:
-            self._plans.clear()
         self._plans[key] = (fmt, plan)
+        self._plans.move_to_end(key)
+        while len(self._plans) > self._plan_capacity:
+            self._plans.popitem(last=False)
         return plan
 
     def _execute_group(self, group: list[ServeRequest]) -> None:
+        # Re-check deadlines at execution time: earlier groups of the same
+        # drain may have pushed this one past its requests' deadlines.
+        group = self._shed_expired(group, time.perf_counter())
+        if not group:
+            return
         try:
             if group[0].op == "spmm":
                 self._execute_spmm_group(group)
@@ -273,6 +498,13 @@ class Server:
                 if not req.future.done():
                     req.future.set_exception(exc)
                     self.metrics.record_failed(now - req.submitted_at)
+
+    def _record_done(self, req: ServeRequest, now: float) -> None:
+        self.metrics.record_completed(
+            now - req.submitted_at,
+            queue_wait_s=req.dequeued_at - req.submitted_at,
+            execution_s=now - req.dequeued_at,
+        )
 
     def _execute_spmm_group(self, group: list[ServeRequest]) -> None:
         fmt = cached_mebcrs(group[0].csr, self.precision, by_content=True)
@@ -306,7 +538,7 @@ class Server:
                 },
             )
             req.future.set_result(result)
-            self.metrics.record_completed(now - req.submitted_at)
+            self._record_done(req, now)
 
     def _execute_sddmm(self, req: ServeRequest) -> None:
         fmt = cached_mebcrs(req.csr, self.precision, by_content=True)
@@ -344,4 +576,4 @@ class Server:
             },
         )
         req.future.set_result(result)
-        self.metrics.record_completed(time.perf_counter() - req.submitted_at)
+        self._record_done(req, time.perf_counter())
