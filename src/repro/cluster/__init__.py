@@ -1,0 +1,65 @@
+"""Multi-host sharded serving over a TCP shard transport.
+
+This package scales :mod:`repro.serve` past one machine: a head process
+(:class:`~repro.cluster.head.ClusterScheduler`) routes window-aligned
+shards of each SpMM / SDDMM to worker hosts
+(:mod:`repro.cluster.worker`) over a length-prefixed binary frame
+protocol (:mod:`repro.cluster.transport` — raw ndarray buffers, no
+pickle), reassembles the shard results without any shared output buffer
+(:mod:`repro.cluster.assembly`), and recovers from host death by
+re-dispatching the dead host's shards to survivors (in-parent as the
+last resort).  Routing is by matrix content key under rendezvous
+hashing, so every host's own translation cache serves repeat requests
+for "its" matrices — the multi-host analogue of the serving frontend's
+content-keyed translation dedup.
+
+The serving frontend consumes it as a backend::
+
+    with repro.start_server(backend="cluster", hosts=2) as server:
+        result = server.submit_spmm(matrix, b).result()
+
+keeping bounded admission, deadlines, priorities, the crash guard and
+``ServeMetrics`` unchanged; :class:`~repro.cluster.metrics.ClusterMetrics`
+adds the distributed signals (per-host tasks, failovers, remote cache hit
+rates, transport bytes).
+
+In tests and benchmarks the hosts are loopback subprocesses; on real
+machines run ``python -m repro.cluster.worker`` per host and hand the
+addresses to :class:`ClusterScheduler`.
+"""
+
+from repro.cluster.assembly import SddmmAssembly, SpmmAssembly
+from repro.cluster.errors import (
+    AssemblyError,
+    ClusterError,
+    HostDeadError,
+    WorkerTaskError,
+)
+from repro.cluster.head import ClusterScheduler, HostState, rendezvous_rank
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.transport import (
+    ConnectionClosedError,
+    TransportError,
+    recv_message,
+    send_message,
+)
+from repro.cluster.worker import WorkerHost, run_worker
+
+__all__ = [
+    "AssemblyError",
+    "ClusterError",
+    "ClusterMetrics",
+    "ClusterScheduler",
+    "ConnectionClosedError",
+    "HostDeadError",
+    "HostState",
+    "SddmmAssembly",
+    "SpmmAssembly",
+    "TransportError",
+    "WorkerHost",
+    "WorkerTaskError",
+    "recv_message",
+    "rendezvous_rank",
+    "run_worker",
+    "send_message",
+]

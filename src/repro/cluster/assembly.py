@@ -1,0 +1,116 @@
+"""Shard-result reassembly in the head, without shared memory.
+
+The single-host :class:`~repro.serve.scheduler.ShardScheduler` lets worker
+processes scatter their shard results straight into one shared-memory
+output buffer — a shortcut only available when every worker maps the same
+address space.  Across hosts the results come back as payloads over the
+transport, and the head must reassemble them: SpMM shards return the dense
+row slice of their window range, SDDMM shards return ``(vector_index,
+values)`` scatter pairs.
+
+Correctness is enforced, not assumed: shards are window-aligned, so their
+output regions are disjoint by construction — an overlapping write, a
+duplicate shard id or a missing shard at :meth:`result` time means the
+head's routing bookkeeping is broken and raises
+:class:`~repro.cluster.errors.AssemblyError` rather than returning a
+partially (or doubly) written output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.errors import AssemblyError
+
+
+class SpmmAssembly:
+    """Reassembles per-shard dense row slices into the ``(n_rows, n_dense)``
+    SpMM output.
+
+    Rows not covered by any shard (trailing all-empty windows produce no
+    shard) stay zero — exactly what the one-shot engine writes for them.
+    """
+
+    def __init__(self, n_rows: int, n_dense: int, num_shards: int):
+        self.out = np.zeros((int(n_rows), int(n_dense)), dtype=np.float32)
+        self.num_shards = int(num_shards)
+        self._covered = np.zeros(int(n_rows), dtype=bool)
+        self._seen: set[int] = set()
+
+    def add(self, shard: int, row0: int, rows: np.ndarray) -> None:
+        """Place shard ``shard``'s row block starting at matrix row ``row0``.
+
+        The tail window's rows past ``n_rows`` are clipped, mirroring the
+        shared-memory scatter.
+        """
+        shard = int(shard)
+        if shard in self._seen:
+            raise AssemblyError(f"shard {shard} delivered twice")
+        if not 0 <= shard < self.num_shards:
+            raise AssemblyError(f"unknown shard id {shard} (have {self.num_shards})")
+        row0 = int(row0)
+        if row0 < 0 or rows.ndim != 2 or rows.shape[1] != self.out.shape[1]:
+            raise AssemblyError(
+                f"shard {shard} returned rows of shape {rows.shape} at row {row0}"
+            )
+        stop = min(row0 + rows.shape[0], self.out.shape[0])
+        if stop > row0:
+            if self._covered[row0:stop].any():
+                raise AssemblyError(f"shard {shard} overlaps already-covered rows")
+            self.out[row0:stop] = rows[: stop - row0]
+            self._covered[row0:stop] = True
+        self._seen.add(shard)
+
+    @property
+    def missing_shards(self) -> int:
+        """Shards dispatched but not yet delivered."""
+        return self.num_shards - len(self._seen)
+
+    def result(self) -> np.ndarray:
+        """The assembled output; raises if any shard never arrived."""
+        if self.missing_shards:
+            raise AssemblyError(
+                f"{self.missing_shards}/{self.num_shards} shards missing at assembly"
+            )
+        return self.out
+
+
+class SddmmAssembly:
+    """Reassembles per-shard ``(vector_index, values)`` scatter pairs into
+    the ``fmt.vector_values``-shaped SDDMM output."""
+
+    def __init__(self, out_shape: tuple, num_shards: int):
+        self.out = np.zeros(out_shape, dtype=np.float32)
+        self.num_shards = int(num_shards)
+        self._covered = np.zeros(out_shape[0] if len(out_shape) else 0, dtype=bool)
+        self._seen: set[int] = set()
+
+    def add(self, shard: int, vector_index: np.ndarray, values: np.ndarray) -> None:
+        """Scatter shard ``shard``'s sampled values to their nonzero vectors."""
+        shard = int(shard)
+        if shard in self._seen:
+            raise AssemblyError(f"shard {shard} delivered twice")
+        if not 0 <= shard < self.num_shards:
+            raise AssemblyError(f"unknown shard id {shard} (have {self.num_shards})")
+        idx = np.asarray(vector_index, dtype=np.int64)
+        if idx.size:
+            if idx.min() < 0 or idx.max() >= self.out.shape[0]:
+                raise AssemblyError(f"shard {shard} scatter index out of range")
+            if self._covered[idx].any():
+                raise AssemblyError(f"shard {shard} overlaps already-covered vectors")
+            self.out[idx] = values
+            self._covered[idx] = True
+        self._seen.add(shard)
+
+    @property
+    def missing_shards(self) -> int:
+        """Shards dispatched but not yet delivered."""
+        return self.num_shards - len(self._seen)
+
+    def result(self) -> np.ndarray:
+        """The assembled value array; raises if any shard never arrived."""
+        if self.missing_shards:
+            raise AssemblyError(
+                f"{self.missing_shards}/{self.num_shards} shards missing at assembly"
+            )
+        return self.out

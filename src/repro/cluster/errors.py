@@ -1,0 +1,47 @@
+"""Cluster failure taxonomy.
+
+The cluster layer distinguishes the failures the head must *recover from*
+(a host died — re-dispatch its shards to survivors) from the failures it
+must *propagate* (the shard computation itself raised — deterministic, so
+retrying elsewhere reproduces it) and the failures that indicate a head
+bug (shard results that do not reassemble into a complete output).
+
+Everything derives from :class:`ClusterError`, which derives from the
+serving layer's :class:`~repro.serve.errors.ServeError` so cluster-backed
+servers keep the one failure taxonomy clients already dispatch on.
+"""
+
+from __future__ import annotations
+
+from repro.serve.errors import ServeError
+
+
+class ClusterError(ServeError):
+    """Base class for every cluster-layer failure."""
+
+
+class HostDeadError(ClusterError):
+    """The worker host died (connection error or heartbeat timeout).
+
+    Raised internally per in-flight shard; the head catches it and
+    re-dispatches the shard to a surviving host, so it only escapes to a
+    caller when *no* host (and no in-parent fallback) could run the work.
+    """
+
+
+class WorkerTaskError(ClusterError):
+    """The shard computation raised on the worker host.
+
+    The remote traceback travels in the message.  Unlike
+    :class:`HostDeadError` this is not retried on another host: shard
+    execution is deterministic, so a computation error reproduces anywhere.
+    """
+
+
+class AssemblyError(ClusterError):
+    """Shard results do not reassemble into a complete, disjoint output.
+
+    Overlapping row ranges, duplicate shard ids or missing shards all mean
+    the head's bookkeeping is broken — never silently return a partially
+    written output.
+    """

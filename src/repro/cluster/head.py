@@ -1,0 +1,634 @@
+"""Cluster head: host registry, affinity routing, failure recovery.
+
+The :class:`ClusterScheduler` is the multi-host counterpart of the
+single-host :class:`~repro.serve.scheduler.ShardScheduler` and presents the
+same execution interface (``run_spmm`` / ``run_sddmm``, ``close``,
+``stats_snapshot``), so the serving frontend plugs it in unchanged.  What
+changes underneath:
+
+* **Hosts, not processes.**  Each worker host is a separate process owning
+  its own translation cache, reached over a long-lived TCP connection
+  (loopback subprocesses here; the worker also runs standalone via
+  ``python -m repro.cluster.worker`` on real machines).
+* **Content-affinity routing.**  Shards are routed by the matrix's
+  :meth:`~repro.formats.csr.CSRMatrix.content_key` under rendezvous
+  (highest-random-weight) hashing: the same matrix always lands on the
+  same host — whose translation cache then serves every later request for
+  it — while distinct matrices spread evenly, and removing a host only
+  remaps the keys that pointed at it (DGL's partition-affinity routing,
+  with rendezvous instead of a static partition book).
+* **Host-failure recovery.**  A host is declared dead on a connection
+  error (send/recv failure — a killed host is detected the moment its
+  socket resets) *or* a heartbeat timeout (ping with no pong while idle).
+  Its in-flight and queued shards fail over to the next live host in the
+  key's rendezvous order; with no live host left, the head executes the
+  shards in-parent, so a fully-degraded cluster still answers (a
+  zero-host cluster runs everything in-parent by construction).
+* **Assembly, not shared memory.**  Shard results return as transport
+  payloads and are reassembled by :mod:`repro.cluster.assembly` with
+  overlap/completeness checks — there is no shared output buffer to
+  scatter into across machines.
+
+Bit-exactness carries over from the single-host scheduler: workers run the
+same whole-window shard reductions on a bit-identical translation, so the
+cluster result equals the single-process one-shot result exactly, for any
+shard size, any host count, and across mid-shard host deaths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing as mp
+import queue
+import socket
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.assembly import SddmmAssembly, SpmmAssembly
+from repro.cluster.errors import HostDeadError, WorkerTaskError
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.transport import TransportError, recv_message, send_message
+from repro.cluster.worker import run_worker
+from repro.formats.blocked import BlockedVectorFormat
+from repro.formats.csr import CSRMatrix
+from repro.formats.sgt16 import SGT16Matrix
+from repro.kernels.engine import (
+    sddmm_a_window,
+    sddmm_shard_values,
+    spmm_shard_rows,
+    window_aligned_ranges,
+)
+from repro.precision.types import Precision
+
+#: Idle gap after which a host client probes its host with a ping.
+DEFAULT_HEARTBEAT_INTERVAL_S = 0.5
+#: Pong wait before an idle host is declared dead.
+DEFAULT_HEARTBEAT_TIMEOUT_S = 5.0
+#: Result wait per shard task before the host is declared dead (generous:
+#: an outright-killed host is detected immediately via the socket reset —
+#: this bound only catches a wedged-but-connected host).
+DEFAULT_TASK_TIMEOUT_S = 120.0
+#: Default shards per request, as a multiple of the host count: fine enough
+#: that a mid-request host death loses only a slice of the work.
+SHARDS_PER_HOST = 2
+
+
+def rendezvous_rank(content_key: str, host_ids) -> list[str]:
+    """Host ids ordered by rendezvous (highest-random-weight) hash.
+
+    Every (key, host) pair gets an independent pseudo-random score; the
+    ranking is the descending score order.  Properties the cluster relies
+    on: deterministic, uniform across hosts over many keys, and *minimally
+    disruptive* — removing a host leaves the relative order of the
+    survivors unchanged, so only the dead host's keys move.
+    """
+    scored = sorted(
+        (
+            hashlib.blake2b(
+                f"{content_key}|{host_id}".encode(), digest_size=8
+            ).digest(),
+            host_id,
+        )
+        for host_id in host_ids
+    )
+    return [host_id for _, host_id in reversed(scored)]
+
+
+class _Stop:
+    """Inbox sentinel shutting a host client down."""
+
+
+@dataclass
+class _Task:
+    """One shard task travelling through a host client."""
+
+    header: dict
+    arrays: list
+    future: Future = field(default_factory=Future)
+
+
+class _HostClient(threading.Thread):
+    """Owns the connection to one worker host.
+
+    One thread per host: it drains an inbox of shard tasks (send frame,
+    wait for the reply frame), and pings the host when the inbox has been
+    idle for a heartbeat interval.  Any transport failure — connect, send,
+    recv, ping — declares the host dead: the flag flips, the in-flight
+    task and everything still queued fail with :class:`HostDeadError`, and
+    the submitting request re-routes them.
+    """
+
+    def __init__(
+        self,
+        host_id: str,
+        address: tuple,
+        metrics: ClusterMetrics,
+        heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
+        heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
+        task_timeout_s: float = DEFAULT_TASK_TIMEOUT_S,
+        connect_timeout_s: float = 10.0,
+    ):
+        super().__init__(name=f"repro-cluster-{host_id}", daemon=True)
+        self.host_id = host_id
+        self.address = (address[0], int(address[1]))
+        self.metrics = metrics
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.task_timeout_s = task_timeout_s
+        self.connect_timeout_s = connect_timeout_s
+        self._inbox: "queue.Queue[_Task | _Stop]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._sock: socket.socket | None = None
+        self.alive = False
+
+    # -------------------------------------------------------------- lifecycle
+    def connect(self) -> None:
+        """Establish the host connection (called before the thread starts)."""
+        sock = socket.create_connection(self.address, timeout=self.connect_timeout_s)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self.alive = True
+
+    def submit(self, task: _Task) -> bool:
+        """Enqueue a task; False when the host is already dead."""
+        with self._lock:
+            if not self.alive:
+                return False
+            self._inbox.put(task)
+            return True
+
+    def stop(self) -> None:
+        """Ask the client thread to shut its host down and exit."""
+        with self._lock:
+            if self.alive:
+                self._inbox.put(_Stop())
+                return
+        self._close_socket()
+
+    def _close_socket(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _mark_dead(self, cause: BaseException | None) -> None:
+        """Flip to dead and fail everything queued (idempotent)."""
+        with self._lock:
+            if not self.alive:
+                return
+            self.alive = False
+            drained: list[_Task] = []
+            while True:
+                try:
+                    item = self._inbox.get_nowait()
+                except queue.Empty:
+                    break
+                if isinstance(item, _Task):
+                    drained.append(item)
+        self._close_socket()
+        self.metrics.record_host_death(self.host_id)
+        for task in drained:
+            self.metrics.record_task_failure(self.host_id)
+            task.future.set_exception(
+                HostDeadError(f"host {self.host_id} died before running the shard")
+            )
+
+    # -------------------------------------------------------------- mainloop
+    def run(self) -> None:  # pragma: no branch - loop structure
+        try:
+            while self.alive:
+                try:
+                    item = self._inbox.get(timeout=self.heartbeat_interval_s)
+                except queue.Empty:
+                    self._heartbeat()
+                    continue
+                if isinstance(item, _Stop):
+                    self._shutdown_host()
+                    return
+                self._run_task(item)
+        except BaseException as exc:  # pragma: no cover - defensive backstop
+            # Whatever escapes, the host must never look alive with a dead
+            # client thread behind it: queued tasks would hang forever.
+            self._mark_dead(exc)
+            raise
+
+    def _run_task(self, task: _Task) -> None:
+        try:
+            self._sock.settimeout(self.task_timeout_s)
+            sent = send_message(self._sock, task.header, task.arrays)
+            self.metrics.record_task_sent(self.host_id, sent)
+            header, arrays, received = recv_message(self._sock)
+        except Exception as exc:
+            # Transport errors, timeouts, *and* anything a corrupt or
+            # hostile reply frame raises while being parsed: the stream is
+            # unusable either way, so the host is declared dead and the
+            # shard fails over — never a silently-dead client thread with
+            # the in-flight future unresolved.
+            self.metrics.record_task_failure(self.host_id)
+            task.future.set_exception(
+                HostDeadError(f"host {self.host_id} died mid-shard: {exc}")
+            )
+            self._mark_dead(exc)
+            return
+        if header.get("type") == "error":
+            # The *computation* failed on a live host: deterministic, so it
+            # is propagated rather than retried elsewhere.
+            self.metrics.record_task_failure(self.host_id)
+            task.future.set_exception(
+                WorkerTaskError(
+                    f"shard failed on host {self.host_id}: {header.get('message')}\n"
+                    f"{header.get('traceback', '')}"
+                )
+            )
+            return
+        self.metrics.record_task_completed(self.host_id, received, header.get("cache"))
+        task.future.set_result((header, arrays))
+
+    def _heartbeat(self) -> None:
+        try:
+            self._sock.settimeout(self.heartbeat_timeout_s)
+            send_message(self._sock, {"type": "ping"})
+            header, _, _ = recv_message(self._sock)
+            if header.get("type") != "pong":
+                raise TransportError(f"unexpected heartbeat reply {header.get('type')!r}")
+        except Exception as exc:  # transport failure or unparseable pong
+            self.metrics.record_heartbeat(self.host_id, ok=False)
+            self._mark_dead(exc)
+            return
+        self.metrics.record_heartbeat(self.host_id, ok=True, cache=header.get("cache"))
+
+    def _shutdown_host(self) -> None:
+        try:
+            self._sock.settimeout(self.heartbeat_timeout_s)
+            send_message(self._sock, {"type": "shutdown"})
+            recv_message(self._sock)  # the worker's "bye"
+        except (TransportError, OSError):
+            pass
+        with self._lock:
+            self.alive = False
+        self._close_socket()
+
+
+@dataclass
+class HostState:
+    """One registered worker host as the head sees it."""
+
+    host_id: str
+    address: tuple
+    client: _HostClient
+    #: The local subprocess backing the host (None for external addresses).
+    process: "mp.process.BaseProcess | None" = None
+
+    @property
+    def alive(self) -> bool:
+        """Whether the head still considers this host usable."""
+        return self.client.alive
+
+
+def spawn_local_host(mp_context, host_id: str) -> tuple["mp.process.BaseProcess", tuple]:
+    """Start one loopback worker-host subprocess; returns (process, address).
+
+    The worker binds a kernel-picked port and reports it through a pipe, so
+    any number of hosts start without port coordination.
+    """
+    recv_conn, send_conn = mp_context.Pipe(duplex=False)
+    process = mp_context.Process(
+        target=run_worker,
+        kwargs={"host": "127.0.0.1", "port": 0, "ready": send_conn},
+        name=f"repro-cluster-worker-{host_id}",
+        daemon=True,
+    )
+    process.start()
+    send_conn.close()
+    if not recv_conn.poll(30.0):
+        process.terminate()
+        raise RuntimeError(f"worker host {host_id} never reported its address")
+    address = recv_conn.recv()
+    recv_conn.close()
+    return process, tuple(address)
+
+
+class ClusterScheduler:
+    """Head of a multi-host cluster; drop-in for :class:`ShardScheduler`.
+
+    Parameters
+    ----------
+    hosts:
+        Number of loopback worker-host subprocesses to spawn.  ``0`` runs
+        every shard in-parent (the degenerate single-host cluster — no
+        sockets, no subprocesses).
+    addresses:
+        Explicit ``(host, port)`` addresses of already-running worker
+        hosts (``python -m repro.cluster.worker``); overrides ``hosts``.
+    start_method:
+        ``multiprocessing`` start method for spawned hosts (default:
+        ``fork`` where available).
+    heartbeat_interval_s / heartbeat_timeout_s / task_timeout_s:
+        Failure-detector knobs (see :class:`_HostClient`).
+    """
+
+    def __init__(
+        self,
+        hosts: int = 1,
+        addresses=None,
+        start_method: str | None = None,
+        heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
+        heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
+        task_timeout_s: float = DEFAULT_TASK_TIMEOUT_S,
+    ):
+        if addresses is None and int(hosts) < 0:
+            raise ValueError("hosts must be >= 0")
+        self.metrics = ClusterMetrics()
+        #: Test hook: seconds every dispatched task asks the worker to sleep
+        #: before executing (widens the kill-mid-shard window).
+        self.inject_task_delay_s = 0.0
+        if start_method is None:
+            start_method = "fork" if "fork" in mp.get_all_start_methods() else None
+        self._mp_context = mp.get_context(start_method) if start_method else mp.get_context()
+        self.hosts: list[HostState] = []
+        self._closed = False
+        client_kwargs = {
+            "heartbeat_interval_s": heartbeat_interval_s,
+            "heartbeat_timeout_s": heartbeat_timeout_s,
+            "task_timeout_s": task_timeout_s,
+        }
+        try:
+            if addresses is not None:
+                for i, address in enumerate(addresses):
+                    self._register(f"host-{i}", tuple(address), None, client_kwargs)
+            else:
+                for i in range(int(hosts)):
+                    host_id = f"host-{i}"
+                    process, address = spawn_local_host(self._mp_context, host_id)
+                    self._register(host_id, address, process, client_kwargs)
+        except Exception:
+            self.close()
+            raise
+
+    def _register(self, host_id, address, process, client_kwargs) -> None:
+        client = _HostClient(host_id, address, self.metrics, **client_kwargs)
+        client.connect()
+        client.start()
+        self.hosts.append(
+            HostState(host_id=host_id, address=address, client=client, process=process)
+        )
+
+    # ------------------------------------------------------------- interface
+    @property
+    def workers(self) -> int:
+        """Configured host count (1 for the in-parent degenerate cluster);
+        the serving frontend reports this in result metadata."""
+        return max(1, len(self.hosts))
+
+    def live_hosts(self) -> list[HostState]:
+        """Hosts currently considered usable."""
+        return [h for h in self.hosts if h.alive]
+
+    def affinity_host(self, content_key: str) -> HostState | None:
+        """The live host that rendezvous routing assigns ``content_key``."""
+        by_id = {h.host_id: h for h in self.hosts if h.alive}
+        for host_id in rendezvous_rank(content_key, list(by_id)):
+            return by_id[host_id]
+        return None
+
+    def stats_snapshot(self) -> dict:
+        """Lifetime counters (superset of the single-host scheduler's)."""
+        snap = self.metrics.snapshot()
+        # The single-host scheduler's vocabulary, so dashboards and the
+        # serving snapshot read both backends uniformly.
+        snap["retries"] = snap["shards_failed_over"]
+        snap["fallbacks"] = snap["inline_fallbacks"]
+        return snap
+
+    def close(self) -> None:
+        """Shut every host down (idempotent): graceful shutdown frame,
+        bounded join, then terminate whatever is left."""
+        self._closed = True
+        for state in self.hosts:
+            state.client.stop()
+        for state in self.hosts:
+            state.client.join(timeout=10.0)
+        for state in self.hosts:
+            if state.process is not None:
+                state.process.join(timeout=5.0)
+                if state.process.is_alive():
+                    state.process.terminate()
+                    state.process.join(timeout=5.0)
+                    if state.process.is_alive():  # pragma: no cover - last resort
+                        state.process.kill()
+
+    def __enter__(self) -> "ClusterScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- dispatch
+    def _resolve_identity(self, fmt, csr, content_key):
+        """The CSR payload and routing key for ``fmt``.
+
+        The serving frontend passes the request's own CSR; direct callers
+        may omit it, in which case the blocked format is converted back
+        (an exact structural round-trip for these formats).
+        """
+        if csr is None:
+            csr = fmt.to_csr()
+        if content_key is None:
+            content_key = csr.content_key()
+        return csr, content_key
+
+    def _default_target(self, num_blocks: int) -> int:
+        shards = max(2, SHARDS_PER_HOST * max(1, len(self.hosts)))
+        return max(1, -(-num_blocks // shards))
+
+    def _dispatch(self, tasks: list[dict], content_key: str, inline_body) -> list:
+        """Run shard ``tasks``, failing over dead hosts; returns per-task
+        ``(header, arrays)`` payloads (inline results are synthesised by
+        ``inline_body``).
+
+        Routing: all tasks go to the key's first live host in rendezvous
+        order; every re-dispatch moves the *unfinished* tasks to the next
+        live host.  When the rank is exhausted (or the cluster has no hosts)
+        the head runs the remainder in-parent.
+        """
+        self.metrics.record_request(len(tasks))
+        results: dict[int, tuple] = {}
+        pending = list(range(len(tasks)))
+        first_attempt = True
+        while pending:
+            target = self.affinity_host(content_key)
+            if target is None:
+                break  # no live host: in-parent fallback below
+            if not first_attempt:
+                self.metrics.record_failover(len(pending))
+            first_attempt = False
+            submitted: list[tuple[int, _Task]] = []
+            for index in pending:
+                task = _Task(header=tasks[index]["header"], arrays=tasks[index]["arrays"])
+                if not target.client.submit(task):
+                    break  # died mid-submit: the rest re-route next round
+                submitted.append((index, task))
+            still_pending = pending[len(submitted) :]
+            for index, task in submitted:
+                try:
+                    results[index] = task.future.result()
+                except HostDeadError:
+                    still_pending.append(index)
+            pending = sorted(still_pending)
+        if pending:
+            self.metrics.record_inline_fallback(len(pending))
+            for index in pending:
+                results[index] = inline_body(tasks[index])
+        return [results[i] for i in range(len(tasks))]
+
+    def _task_header(self, op, fmt, csr, content_key, r, index, extra=None) -> dict:
+        header = {
+            "type": "task",
+            "task_id": index,
+            "op": op,
+            "fmt": "sgt16" if isinstance(fmt, SGT16Matrix) else "mebcrs",
+            "precision": extra.pop("precision"),
+            "shape": list(csr.shape),
+            "content_key": content_key,
+            "lo": r.lo,
+            "hi": r.hi,
+            "w0": r.w0,
+            "w1": r.w1,
+        }
+        if self.inject_task_delay_s:
+            header["delay_s"] = float(self.inject_task_delay_s)
+        if extra:
+            header.update(extra)
+        return header
+
+    # ------------------------------------------------------------------ SpMM
+    def run_spmm(
+        self,
+        fmt: BlockedVectorFormat,
+        b_q: np.ndarray,
+        precision: Precision,
+        target_blocks: int | None = None,
+        csr: CSRMatrix | None = None,
+        content_key: str | None = None,
+    ) -> np.ndarray:
+        """``A @ B`` sharded across the cluster; bit-identical to one-shot.
+
+        ``b_q`` must already be quantised float32 (the kernel entry points'
+        convention); ``csr`` / ``content_key`` identify the request payload
+        for routing (derived from ``fmt`` when omitted).
+        """
+        n_rows = fmt.shape[0]
+        n_dense = b_q.shape[1]
+        batch = fmt.blocks_as_arrays()
+        offsets = batch.window_offsets
+        if target_blocks is None:
+            target_blocks = self._default_target(batch.num_blocks)
+        ranges = window_aligned_ranges(offsets, target_blocks)
+        if batch.num_blocks == 0 or n_dense == 0 or not ranges:
+            return np.zeros((n_rows, n_dense), dtype=np.float32)
+        csr, content_key = self._resolve_identity(fmt, csr, content_key)
+        b_q = np.ascontiguousarray(b_q, dtype=np.float32)
+
+        tasks = []
+        for i, r in enumerate(ranges):
+            header = self._task_header(
+                "spmm", fmt, csr, content_key, r, i, {"precision": precision.value}
+            )
+            tasks.append(
+                {"header": header, "arrays": [csr.indptr, csr.indices, csr.data, b_q], "range": r}
+            )
+
+        def inline(task: dict) -> tuple:
+            r = task["range"]
+            rows = spmm_shard_rows(
+                batch.values[r.lo : r.hi],
+                batch.columns[r.lo : r.hi],
+                offsets[r.w0 : r.w1 + 1] - offsets[r.w0],
+                b_q,
+                precision,
+            )
+            return {"row0": r.w0 * fmt.vector_size}, [rows]
+
+        assembly = SpmmAssembly(n_rows, n_dense, num_shards=len(ranges))
+        for i, (header, arrays) in enumerate(self._dispatch(tasks, content_key, inline)):
+            assembly.add(i, header["row0"], arrays[0])
+        return assembly.result()
+
+    # ----------------------------------------------------------------- SDDMM
+    def run_sddmm(
+        self,
+        fmt: BlockedVectorFormat,
+        a_q: np.ndarray,
+        b_q: np.ndarray,
+        precision: Precision,
+        group: int,
+        scale_by_mask: bool = False,
+        target_blocks: int | None = None,
+        csr: CSRMatrix | None = None,
+        content_key: str | None = None,
+    ) -> np.ndarray:
+        """Sampled dense×dense sharded across the cluster (bit-identical).
+
+        Returns the ``(num_nonzero_vectors, vector_size)`` value array in
+        the layout of ``fmt.vector_values``.
+        """
+        v = fmt.vector_size
+        k_dense = a_q.shape[1]
+        batch = fmt.blocks_as_arrays(group)
+        offsets = batch.window_offsets
+        if target_blocks is None:
+            target_blocks = self._default_target(batch.num_blocks)
+        ranges = window_aligned_ranges(offsets, target_blocks)
+        out_shape = fmt.vector_values.shape
+        if batch.num_blocks == 0 or k_dense == 0 or not ranges:
+            return np.zeros(out_shape, dtype=np.float32)
+        csr, content_key = self._resolve_identity(fmt, csr, content_key)
+        a_q = np.ascontiguousarray(a_q, dtype=np.float32)
+        b_q = np.ascontiguousarray(b_q, dtype=np.float32)
+
+        tasks = []
+        for i, r in enumerate(ranges):
+            header = self._task_header(
+                "sddmm",
+                fmt,
+                csr,
+                content_key,
+                r,
+                i,
+                {
+                    "precision": precision.value,
+                    "group": int(group),
+                    "scale_by_mask": bool(scale_by_mask),
+                },
+            )
+            tasks.append(
+                {
+                    "header": header,
+                    "arrays": [csr.indptr, csr.indices, csr.data, a_q, b_q],
+                    "range": r,
+                }
+            )
+
+        def inline(task: dict) -> tuple:
+            r = task["range"]
+            idx, vals = sddmm_shard_values(
+                batch.values[r.lo : r.hi],
+                batch.columns[r.lo : r.hi],
+                batch.lane_valid[r.lo : r.hi],
+                batch.vector_index[r.lo : r.hi],
+                batch.window_of_block[r.lo : r.hi] - r.w0,
+                sddmm_a_window(a_q, r.w0, r.w1, v),
+                b_q,
+                bool(scale_by_mask),
+            )
+            return {}, [np.asarray(idx, dtype=np.int64), vals]
+
+        assembly = SddmmAssembly(out_shape, num_shards=len(ranges))
+        for i, (_, arrays) in enumerate(self._dispatch(tasks, content_key, inline)):
+            assembly.add(i, arrays[0], arrays[1])
+        return assembly.result()

@@ -1,0 +1,143 @@
+"""Cluster observability: per-host task counters, failovers, transport bytes.
+
+The head records what the single-host scheduler's ``stats`` dict recorded
+(requests, shards) plus the distributed-only signals: which host ran which
+shard, how many shards were re-dispatched after a host death, how often the
+head fell back to in-parent execution, and the transport byte volume.  Each
+worker host additionally reports its own translation-cache counters in
+every result and pong frame; the head keeps the latest per host, so the
+**remote cache hit rate** — the payoff of content-key affinity routing —
+is observable without a side channel (the cache-affinity benchmark gate
+reads it from here).
+
+Everything is lock-guarded: host client threads record sends/results while
+request threads record failovers and observers snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.formats.cache import CacheStats
+
+
+class ClusterMetrics:
+    """Mutable cluster counters shared by the head's threads."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters = {
+            "requests": 0,
+            "shards": 0,
+            "tasks_sent": 0,
+            "tasks_completed": 0,
+            "task_failures": 0,
+            "host_deaths": 0,
+            "failovers": 0,
+            "shards_failed_over": 0,
+            "inline_fallbacks": 0,
+            "heartbeats": 0,
+            "heartbeat_failures": 0,
+            "bytes_sent": 0,
+            "bytes_received": 0,
+        }
+        self._per_host: dict[str, dict] = {}
+
+    # -------------------------------------------------------------- recorders
+    def _host(self, host_id: str) -> dict:
+        entry = self._per_host.get(host_id)
+        if entry is None:
+            entry = {
+                "tasks_sent": 0,
+                "tasks_completed": 0,
+                "alive": True,
+                "cache": None,
+            }
+            self._per_host[host_id] = entry
+        return entry
+
+    def record_request(self, shards: int) -> None:
+        """One ``run_spmm``/``run_sddmm`` call dispatching ``shards`` shards."""
+        with self._lock:
+            self._counters["requests"] += 1
+            self._counters["shards"] += int(shards)
+
+    def record_task_sent(self, host_id: str, nbytes: int) -> None:
+        """One shard task written to ``host_id``'s stream."""
+        with self._lock:
+            self._counters["tasks_sent"] += 1
+            self._counters["bytes_sent"] += int(nbytes)
+            self._host(host_id)["tasks_sent"] += 1
+
+    def record_task_completed(self, host_id: str, nbytes: int, cache: dict | None) -> None:
+        """One shard result read back from ``host_id`` (with its latest
+        translation-cache counters, when the worker attached them)."""
+        with self._lock:
+            self._counters["tasks_completed"] += 1
+            self._counters["bytes_received"] += int(nbytes)
+            entry = self._host(host_id)
+            entry["tasks_completed"] += 1
+            if cache is not None:
+                entry["cache"] = dict(cache)
+
+    def record_task_failure(self, host_id: str) -> None:
+        """One shard task that failed on ``host_id`` (host death or remote
+        error) before delivering a result."""
+        with self._lock:
+            self._counters["task_failures"] += 1
+            self._host(host_id)
+
+    def record_host_death(self, host_id: str) -> None:
+        """``host_id`` was declared dead (connection error or heartbeat)."""
+        with self._lock:
+            self._counters["host_deaths"] += 1
+            self._host(host_id)["alive"] = False
+
+    def record_failover(self, shards: int) -> None:
+        """``shards`` in-flight shards re-dispatched after a host death."""
+        with self._lock:
+            self._counters["failovers"] += 1
+            self._counters["shards_failed_over"] += int(shards)
+
+    def record_inline_fallback(self, shards: int) -> None:
+        """``shards`` shards the head executed in-parent (no live host)."""
+        with self._lock:
+            self._counters["inline_fallbacks"] += int(shards)
+
+    def record_heartbeat(self, host_id: str, ok: bool, cache: dict | None = None) -> None:
+        """One ping/pong exchange with ``host_id`` (or its failure)."""
+        with self._lock:
+            self._counters["heartbeats"] += 1
+            if not ok:
+                self._counters["heartbeat_failures"] += 1
+            elif cache is not None:
+                self._host(host_id)["cache"] = dict(cache)
+
+    # -------------------------------------------------------------- snapshots
+    def snapshot(self) -> dict:
+        """Consistent copy of every counter plus the per-host breakdown."""
+        with self._lock:
+            snap = dict(self._counters)
+            snap["hosts"] = {
+                host_id: dict(entry, cache=dict(entry["cache"]) if entry["cache"] else None)
+                for host_id, entry in self._per_host.items()
+            }
+            return snap
+
+    def remote_cache_stats(self) -> CacheStats:
+        """Aggregate of the latest per-host translation-cache counters.
+
+        This is the cache-affinity signal: under content-key routing a
+        repeat-matrix workload should show a high remote hit rate because
+        every request for a matrix lands on the host that already holds its
+        translation.
+        """
+        totals = {"hits": 0, "misses": 0, "evictions": 0, "content_hits": 0, "size": 0}
+        with self._lock:
+            for entry in self._per_host.values():
+                cache = entry["cache"]
+                if not cache:
+                    continue
+                for key in totals:
+                    totals[key] += int(cache.get(key, 0))
+        return CacheStats(**totals)

@@ -1,0 +1,162 @@
+"""Length-prefixed binary frame protocol for the shard transport.
+
+One frame carries one message between the head and a worker host over a
+TCP stream (the shape follows TVM's RPC runner: a fixed prefix, a small
+metadata header, then the bulk payload as raw buffers):
+
+``
++--------+---------+---------+------------+----------------+
+| magic  | version | n_bufs  | header_len | header (JSON)  |
+| 4 B    | 1 B     | 1 B     | 4 B        | header_len B   |
++--------+---------+---------+------------+----------------+
+| buf_len (8 B) | raw buffer bytes | ... repeated n_bufs × |
++-------------------------------------------------------+
+``
+
+The **header** is a small JSON object holding the message type and scalar
+metadata (shard ranges, content keys, per-array dtype/shape descriptors).
+The **buffers** are the ndarray payloads — CSR arrays, dense operands,
+result rows — sent as raw contiguous bytes, *never* pickled: pickle on a
+network channel is an arbitrary-code-execution surface and also copies
+through Python object land, while raw buffers go straight from the array
+to the socket.  Array dtype and shape travel in ``header["arrays"]`` so
+the receiver can rebuild each ndarray with ``np.frombuffer`` (backed by a
+``bytearray``, so the rebuilt arrays are writable).
+
+Message types (the ``type`` header field) used by the cluster:
+
+* ``task`` (head → worker): one window-aligned shard of one SpMM/SDDMM,
+* ``result`` / ``error`` (worker → head): the shard's output or the remote
+  failure (message + traceback text),
+* ``ping`` / ``pong``: heartbeat probes; the pong carries the worker's
+  translation-cache counters,
+* ``shutdown`` (head → worker): drain and exit.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+import numpy as np
+
+#: Frame prefix: magic, version, buffer count, header length.
+_PREFIX = struct.Struct("!4sBBI")
+_BUF_LEN = struct.Struct("!Q")
+
+MAGIC = b"FSRP"
+VERSION = 1
+
+#: Sanity bounds — a corrupt or hostile prefix must not trigger a huge
+#: allocation before the magic/shape checks can reject it.
+MAX_HEADER_BYTES = 16 * 1024 * 1024
+MAX_BUFFERS = 64
+MAX_BUFFER_BYTES = 16 * 1024**3
+
+
+class TransportError(RuntimeError):
+    """Malformed frame, protocol violation or mid-frame stream loss."""
+
+
+class ConnectionClosedError(TransportError):
+    """The peer closed the stream at a clean frame boundary."""
+
+
+def _recv_exact(sock: socket.socket, n: int, *, at_boundary: bool = False) -> bytearray:
+    """Read exactly ``n`` bytes (into a writable buffer) or raise.
+
+    EOF before the first byte of a frame is a clean close
+    (:class:`ConnectionClosedError`); EOF anywhere inside a frame is a
+    :class:`TransportError` — the peer died mid-message.
+    """
+    buf = bytearray(n)
+    view = memoryview(buf)
+    got = 0
+    while got < n:
+        try:
+            chunk = sock.recv_into(view[got:], n - got)
+        except (ConnectionResetError, BrokenPipeError) as exc:
+            raise ConnectionClosedError(f"connection reset: {exc}") from exc
+        if chunk == 0:
+            if at_boundary and got == 0:
+                raise ConnectionClosedError("peer closed the connection")
+            raise TransportError(f"stream ended mid-frame ({got}/{n} bytes read)")
+        got += chunk
+    return buf
+
+
+def _array_descriptor(array: np.ndarray) -> dict:
+    return {"dtype": array.dtype.str, "shape": list(array.shape)}
+
+
+def send_message(sock: socket.socket, header: dict, arrays=()) -> int:
+    """Send one frame; returns the total bytes written.
+
+    ``header`` must be JSON-serialisable; an ``arrays`` descriptor list is
+    added automatically.  Arrays are made contiguous (a no-op for the
+    batch slices the cluster sends) and streamed as raw bytes.
+    """
+    arrays = [np.ascontiguousarray(a) for a in arrays]
+    if len(arrays) > MAX_BUFFERS:
+        raise TransportError(f"too many buffers in one frame ({len(arrays)})")
+    header = dict(header, arrays=[_array_descriptor(a) for a in arrays])
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    if len(header_bytes) > MAX_HEADER_BYTES:
+        raise TransportError(f"header too large ({len(header_bytes)} bytes)")
+    parts = [_PREFIX.pack(MAGIC, VERSION, len(arrays), len(header_bytes)), header_bytes]
+    for array in arrays:
+        parts.append(_BUF_LEN.pack(array.nbytes))
+        parts.append(memoryview(array).cast("B"))
+    total = 0
+    try:
+        for part in parts:
+            sock.sendall(part)
+            total += len(part)
+    except (ConnectionResetError, BrokenPipeError) as exc:
+        raise ConnectionClosedError(f"connection lost during send: {exc}") from exc
+    return total
+
+
+def recv_message(sock: socket.socket) -> tuple[dict, list[np.ndarray], int]:
+    """Receive one frame; returns ``(header, arrays, total_bytes)``.
+
+    Blocks until a full frame arrives (honouring any ``sock.settimeout``,
+    whose expiry surfaces as the standard ``socket.timeout``).  The
+    returned arrays are writable (backed by the receive buffer, no extra
+    copy).
+    """
+    prefix = _recv_exact(sock, _PREFIX.size, at_boundary=True)
+    magic, version, n_bufs, header_len = _PREFIX.unpack(bytes(prefix))
+    if magic != MAGIC:
+        raise TransportError(f"bad frame magic {magic!r}")
+    if version != VERSION:
+        raise TransportError(f"unsupported protocol version {version}")
+    if header_len > MAX_HEADER_BYTES:
+        raise TransportError(f"header too large ({header_len} bytes)")
+    total = _PREFIX.size + header_len
+    try:
+        header = json.loads(bytes(_recv_exact(sock, header_len)).decode("utf-8"))
+    except ValueError as exc:
+        raise TransportError(f"undecodable frame header: {exc}") from exc
+    descriptors = header.get("arrays", [])
+    if len(descriptors) != n_bufs:
+        raise TransportError(
+            f"frame declares {n_bufs} buffers but header describes {len(descriptors)}"
+        )
+    arrays: list[np.ndarray] = []
+    for desc in descriptors:
+        (nbytes,) = _BUF_LEN.unpack(bytes(_recv_exact(sock, _BUF_LEN.size)))
+        if nbytes > MAX_BUFFER_BYTES:
+            raise TransportError(f"buffer too large ({nbytes} bytes)")
+        dtype = np.dtype(desc["dtype"])
+        shape = tuple(int(s) for s in desc["shape"])
+        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if expected != nbytes:
+            raise TransportError(
+                f"buffer length {nbytes} does not match dtype/shape {desc}"
+            )
+        raw = _recv_exact(sock, nbytes)
+        arrays.append(np.frombuffer(raw, dtype=dtype).reshape(shape))
+        total += _BUF_LEN.size + nbytes
+    return header, arrays, total

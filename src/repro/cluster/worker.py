@@ -1,0 +1,243 @@
+"""Worker host: owns a translation cache, executes window-aligned shards.
+
+One worker host is one process serving shard tasks over the frame protocol
+of :mod:`repro.cluster.transport`.  Per task it
+
+1. rebuilds the CSR matrix from the frame's raw buffers (request payloads
+   arrive deserialised fresh, exactly like the serving frontend's),
+2. translates it through the host's **own**
+   :class:`~repro.formats.cache.TranslationCache`, keyed by content — the
+   head routes every shard of a given matrix to the same host, so after
+   the first task for a matrix the O(nnz) translation is a cache hit (the
+   cache counters travel back in every result and pong frame, making the
+   affinity payoff observable from the head),
+3. slices the task's window-aligned block range out of the format's batch
+   arrays (translation is deterministic, so the worker's batch is
+   bit-identical to the head's) and runs the engine shard hooks
+   :func:`~repro.kernels.engine.spmm_shard_rows` /
+   :func:`~repro.kernels.engine.sddmm_shard_values` — the same one-shot
+   whole-window reductions the single-host scheduler runs, hence
+   bit-identical results, and
+4. streams the shard output back (dense row slice for SpMM,
+   ``(vector_index, values)`` scatter pairs for SDDMM).
+
+The host is single-threaded and serves one head connection at a time (the
+head holds one long-lived connection per host); a dropped connection sends
+it back to ``accept``, so a head that reconnects after a network blip finds
+the host — and its warm cache — still there.  A ``shutdown`` frame exits
+the process.
+
+Run in-process under a spawned subprocess (what the head and the tests
+do), or standalone on a real host::
+
+    python -m repro.cluster.worker --host 0.0.0.0 --port 9070
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+import traceback
+from dataclasses import asdict
+
+import numpy as np
+
+from repro.cluster.transport import TransportError, recv_message, send_message
+from repro.formats.cache import (
+    FORMAT_CACHE_MAXSIZE,
+    TranslationCache,
+    cached_mebcrs,
+    cached_sgt16,
+)
+from repro.formats.csr import CSRMatrix
+from repro.kernels.engine import sddmm_a_window, sddmm_shard_values, spmm_shard_rows
+from repro.precision.types import Precision
+
+#: Translation entry points by the task header's ``fmt`` field.
+_TRANSLATORS = {"mebcrs": cached_mebcrs, "sgt16": cached_sgt16}
+
+
+class WorkerHost:
+    """State of one worker host: its translation cache and task counters."""
+
+    def __init__(self, cache_maxsize: int = FORMAT_CACHE_MAXSIZE):
+        self.cache = TranslationCache(maxsize=cache_maxsize)
+        self.tasks_done = 0
+
+    # --------------------------------------------------------------- helpers
+    def _status(self) -> dict:
+        return {"cache": asdict(self.cache.stats()), "tasks_done": self.tasks_done}
+
+    def _translate(self, header: dict, indptr, indices, data):
+        csr = CSRMatrix(
+            indptr=indptr, indices=indices, data=data, shape=tuple(header["shape"])
+        )
+        if header.get("content_key"):
+            # Pre-seed the instance's content-key memo with the digest the
+            # head already computed over these exact bytes: the cache's
+            # content lookup then skips the per-task O(nnz) rehash.
+            csr._content_key = header["content_key"]
+        translate = _TRANSLATORS.get(header.get("fmt", "mebcrs"))
+        if translate is None:
+            raise ValueError(f"unknown format kind {header.get('fmt')!r}")
+        precision = Precision(header["precision"])
+        fmt = translate(csr, precision, by_content=True, cache=self.cache)
+        return fmt, precision
+
+    # ------------------------------------------------------------ task bodies
+    def run_task(self, header: dict, arrays: list[np.ndarray]) -> tuple[dict, list]:
+        """Execute one shard task; returns the reply ``(header, arrays)``."""
+        delay = float(header.get("delay_s") or 0.0)
+        if delay > 0.0:  # failure-injection hook for the kill-mid-shard tests
+            time.sleep(delay)
+        op = header["op"]
+        lo, hi = int(header["lo"]), int(header["hi"])
+        w0, w1 = int(header["w0"]), int(header["w1"])
+        if op == "spmm":
+            indptr, indices, data, b_q = arrays
+            fmt, precision = self._translate(header, indptr, indices, data)
+            batch = fmt.blocks_as_arrays()
+            offsets = batch.window_offsets
+            rows = spmm_shard_rows(
+                batch.values[lo:hi],
+                batch.columns[lo:hi],
+                offsets[w0 : w1 + 1] - offsets[w0],
+                b_q,
+                precision,
+            )
+            reply = {"type": "result", "row0": w0 * fmt.vector_size}
+            payload = [rows]
+        elif op == "sddmm":
+            indptr, indices, data, a_q, b_q = arrays
+            fmt, precision = self._translate(header, indptr, indices, data)
+            batch = fmt.blocks_as_arrays(int(header["group"]))
+            v = fmt.vector_size
+            idx, vals = sddmm_shard_values(
+                batch.values[lo:hi],
+                batch.columns[lo:hi],
+                batch.lane_valid[lo:hi],
+                batch.vector_index[lo:hi],
+                batch.window_of_block[lo:hi] - w0,
+                sddmm_a_window(a_q, w0, w1, v),
+                b_q,
+                bool(header.get("scale_by_mask", False)),
+            )
+            reply = {"type": "result"}
+            payload = [np.asarray(idx, dtype=np.int64), vals]
+        else:
+            raise ValueError(f"unknown op {op!r}")
+        self.tasks_done += 1
+        reply["task_id"] = header.get("task_id")
+        reply.update(self._status())
+        return reply, payload
+
+    # ------------------------------------------------------------ connection
+    def serve_connection(self, conn: socket.socket) -> bool:
+        """Serve one head connection; returns True when asked to shut down.
+
+        Any transport failure — a recv *or* a reply send (the head may
+        close the connection while a task is computing) — just ends this
+        connection: the worker goes back to ``accept`` with its cache warm,
+        so a reconnecting head finds the host still there.
+        """
+        while True:
+            try:
+                header, arrays, _ = recv_message(conn)
+            except (TransportError, OSError):
+                return False  # head went away: back to accept
+            kind = header.get("type")
+            try:
+                if kind == "ping":
+                    send_message(conn, {"type": "pong", **self._status()})
+                elif kind == "shutdown":
+                    try:
+                        send_message(conn, {"type": "bye", **self._status()})
+                    except (TransportError, OSError):
+                        pass
+                    return True
+                elif kind == "task":
+                    try:
+                        reply, payload = self.run_task(header, arrays)
+                    except Exception as exc:  # computation error: report, stay up
+                        send_message(
+                            conn,
+                            {
+                                "type": "error",
+                                "task_id": header.get("task_id"),
+                                "message": f"{type(exc).__name__}: {exc}",
+                                "traceback": traceback.format_exc(),
+                                **self._status(),
+                            },
+                        )
+                    else:
+                        send_message(conn, reply, payload)
+                else:
+                    send_message(
+                        conn,
+                        {"type": "error", "message": f"unknown message type {kind!r}"},
+                    )
+            except (TransportError, OSError):
+                return False  # reply undeliverable: back to accept
+
+
+def run_worker(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    ready=None,
+    cache_maxsize: int = FORMAT_CACHE_MAXSIZE,
+) -> None:
+    """Bind, announce the bound address, and serve until told to shut down.
+
+    ``ready`` receives the bound ``(host, port)`` — a ``multiprocessing``
+    pipe connection (its ``send`` is used) or any callable.  ``port=0``
+    lets the kernel pick a free port, which is how the head spawns loopback
+    hosts without port coordination.
+    """
+    state = WorkerHost(cache_maxsize=cache_maxsize)
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, int(port)))
+        listener.listen(1)
+        address = listener.getsockname()
+        if ready is not None:
+            (ready.send if hasattr(ready, "send") else ready)(address)
+        while True:
+            conn, _ = listener.accept()
+            try:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                if state.serve_connection(conn):
+                    return
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+    finally:
+        listener.close()
+
+
+def main(argv=None) -> None:  # pragma: no cover - thin CLI wrapper
+    """``python -m repro.cluster.worker``: run one standalone worker host."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description="FlashSparse cluster worker host")
+    parser.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    parser.add_argument("--port", type=int, default=0, help="port (0 = kernel-picked)")
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=FORMAT_CACHE_MAXSIZE,
+        help="translation-cache capacity (entries)",
+    )
+    args = parser.parse_args(argv)
+    run_worker(
+        host=args.host,
+        port=args.port,
+        ready=lambda addr: print(f"worker host listening on {addr[0]}:{addr[1]}", flush=True),
+        cache_maxsize=args.cache_size,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -387,6 +387,8 @@ def start_server(
     device: str | GPUSpec | None = None,
     precision: Precision | str = Precision.FP16,
     workers: int | None = None,
+    backend: str = "local",
+    hosts: int | None = None,
     **kwargs,
 ):
     """Start a :class:`~repro.serve.server.Server` for this process.
@@ -405,8 +407,25 @@ def start_server(
             result = fut.result()
         print(server.snapshot().latency_p95_s)
 
-    Extra keyword arguments are forwarded to the ``Server`` constructor.
+    ``backend="cluster"`` serves over ``hosts`` worker-host subprocesses
+    instead of an in-process pool (see :mod:`repro.cluster`): shard
+    payloads travel a TCP transport, matrices route to hosts by content
+    affinity, and a host death mid-request fails over to the survivors::
+
+        with repro.start_server(backend="cluster", hosts=2) as server:
+            result = server.submit_spmm(matrix, b).result()
+        print(server.snapshot().meta["scheduler"]["failovers"])
+
+    Extra keyword arguments are forwarded to the ``Server`` constructor
+    (admission, deadlines, priorities, shedding — see its docstring).
     """
     from repro.serve.server import Server
 
-    return Server(device=device, precision=precision, workers=workers, **kwargs)
+    return Server(
+        device=device,
+        precision=precision,
+        workers=workers,
+        backend=backend,
+        hosts=hosts,
+        **kwargs,
+    )

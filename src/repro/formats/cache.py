@@ -191,16 +191,21 @@ def _content_key(matrix: CSRMatrix, kind: str, precision: Precision) -> tuple:
 
 
 def cached_mebcrs(
-    matrix: CSRMatrix, precision: Precision | str, by_content: bool = False
+    matrix: CSRMatrix,
+    precision: Precision | str,
+    by_content: bool = False,
+    cache: TranslationCache | None = None,
 ) -> MEBCRSMatrix:
     """The ME-BCRS translation of ``matrix`` at ``precision``, memoised.
 
     ``by_content=True`` lets structurally equal matrices share one
     translation (see the module docstring); the default keys by object
-    identity only.
+    identity only.  ``cache`` selects the cache instance — cluster worker
+    hosts pass their own so each host's working set (and hit-rate
+    accounting) is isolated; the default is the process-global cache.
     """
     precision = Precision(precision)
-    return DEFAULT_CACHE.lookup(
+    return (cache if cache is not None else DEFAULT_CACHE).lookup(
         _key(matrix, "mebcrs", precision),
         matrix,
         lambda: MEBCRSMatrix.from_csr(matrix, precision=precision),
@@ -209,14 +214,17 @@ def cached_mebcrs(
 
 
 def cached_sgt16(
-    matrix: CSRMatrix, precision: Precision | str, by_content: bool = False
+    matrix: CSRMatrix,
+    precision: Precision | str,
+    by_content: bool = False,
+    cache: TranslationCache | None = None,
 ) -> SGT16Matrix:
     """The 16×1 SGT translation of ``matrix`` at ``precision``, memoised.
 
-    ``by_content=True`` behaves as for :func:`cached_mebcrs`.
+    ``by_content`` and ``cache`` behave as for :func:`cached_mebcrs`.
     """
     precision = Precision(precision)
-    return DEFAULT_CACHE.lookup(
+    return (cache if cache is not None else DEFAULT_CACHE).lookup(
         _key(matrix, "sgt16", precision),
         matrix,
         lambda: SGT16Matrix.from_csr(matrix, precision=precision),

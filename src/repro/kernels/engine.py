@@ -355,6 +355,21 @@ def window_aligned_ranges(
     return ranges
 
 
+def sddmm_a_window(a_q: np.ndarray, w0: int, w1: int, v: int) -> np.ndarray:
+    """The zero-padded ``(w1 - w0, v, K)`` slab of A rows for a window range.
+
+    Identical to the slab the one-shot engine gathers for those windows, so
+    every shard consumer — the in-process pool, the in-parent fallback and
+    the cluster worker hosts — feeds :func:`sddmm_shard_values` bit-identical
+    inputs.
+    """
+    k_dense = a_q.shape[1]
+    a_win = np.zeros(((w1 - w0) * v, k_dense), dtype=np.float32)
+    lo, hi = w0 * v, min(w1 * v, a_q.shape[0])
+    a_win[: hi - lo] = a_q[lo:hi]
+    return a_win.reshape(w1 - w0, v, k_dense)
+
+
 def spmm_shard_rows(
     shard_values: np.ndarray,
     shard_columns: np.ndarray,

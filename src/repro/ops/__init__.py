@@ -53,6 +53,7 @@ from repro.ops.segment import (
     check_offsets,
     segment_count,
     segment_ids,
+    segment_matmul,
     segment_max,
     segment_mean,
     segment_min,
@@ -66,6 +67,7 @@ __all__ = [
     "check_offsets",
     "segment_count",
     "segment_ids",
+    "segment_matmul",
     "segment_max",
     "segment_mean",
     "segment_min",

@@ -19,8 +19,11 @@ The four pieces:
   shared-memory dense operands, bit-identical to the single-process
   one-shot engine);
 * :mod:`repro.serve.server` — the request frontend (futures, same-matrix
-  batching, per-request cost counters, bounded admission and request
-  deadlines for overload safety);
+  batching, per-request cost counters, bounded admission, request
+  deadlines, priority classes with earliest-deadline-first dispatch and
+  cost-aware load shedding for overload safety; ``backend="cluster"``
+  swaps the in-process scheduler for the multi-host head of
+  :mod:`repro.cluster`);
 * :mod:`repro.serve.metrics` — latency percentiles (end-to-end plus the
   queue-wait / execution split), queue depth, overload counters and the
   translation-cache hit/miss counters;
@@ -31,6 +34,7 @@ The four pieces:
 from repro.serve.errors import (
     DispatcherCrashedError,
     ServeError,
+    ServeShedError,
     ServeTimeoutError,
     ServerClosedError,
     ServerOverloadedError,
@@ -47,6 +51,7 @@ __all__ = [
     "ServeError",
     "ServeMetrics",
     "ServePlan",
+    "ServeShedError",
     "ServeTimeoutError",
     "ServerClosedError",
     "ServerOverloadedError",

@@ -15,6 +15,10 @@ overload/lifecycle outcomes a client must tell apart:
   result nobody is waiting for only deepens an overload), or a
   ``close(timeout=...)`` drain did not finish in time.  Also a
   ``TimeoutError`` so generic timeout handlers see it.
+* :class:`ServeShedError` — the queue crossed the cost-shedding watermark
+  and this request was among the most expensive queued (by predicted
+  FLOPs), so the server dropped it to protect the cheap majority.  Retry
+  with backoff, against a less-loaded replica, or at a smaller width.
 * :class:`ServerClosedError` — submitted after :meth:`Server.close`.
 * :class:`DispatcherCrashedError` — the dispatch thread died; the original
   failure is attached as ``__cause__``.  Every queued/pending future is
@@ -35,6 +39,11 @@ class ServerOverloadedError(ServeError):
 
 class ServeTimeoutError(ServeError, TimeoutError):
     """A request deadline (or a ``close`` drain deadline) expired."""
+
+
+class ServeShedError(ServeError):
+    """The request was shed by cost-aware load shedding (queue over the
+    watermark; this request was among the most expensive queued)."""
 
 
 class ServerClosedError(ServeError):

@@ -22,8 +22,12 @@ time stays flat — and the open-loop benchmark
 Overload outcomes get their own counters: ``rejected`` requests were
 turned away at admission (they never entered the queue and are *not*
 counted as submitted), ``timed_out`` requests expired in the queue and
-were shed before execution.  The in-flight identity is therefore
-``in_flight == submitted - completed - failed - timed_out``.
+were shed before execution, ``cost_shed`` requests were dropped by
+cost-aware load shedding (queue over the watermark, most expensive
+first), and ``cancelled`` requests were resolved by the client
+(``Future.cancel``) while queued and dropped at dispatch.  The in-flight
+identity is therefore ``in_flight == submitted - completed - failed -
+timed_out - cost_shed - cancelled``.
 
 Everything is lock-guarded: clients resolve futures on pool threads while
 the dispatch thread updates queue gauges.
@@ -83,6 +87,13 @@ class MetricsSnapshot:
     #: Deadline expired in the queue; shed before execution with
     #: :class:`~repro.serve.errors.ServeTimeoutError`.
     requests_timed_out: int
+    #: Dropped by cost-aware shedding (queue over the watermark, most
+    #: expensive queued requests first) with
+    #: :class:`~repro.serve.errors.ServeShedError`.
+    requests_cost_shed: int
+    #: Client-cancelled while queued; dropped at dispatch without
+    #: execution (their future was already resolved by the client).
+    requests_cancelled: int
     #: Engine passes dispatched (a batch of same-matrix requests is one).
     batches_dispatched: int
     #: Requests that shared an engine pass with at least one other request.
@@ -114,13 +125,16 @@ class MetricsSnapshot:
             - self.requests_completed
             - self.requests_failed
             - self.requests_timed_out
+            - self.requests_cost_shed
+            - self.requests_cancelled
         )
 
     @property
     def requests_shed(self) -> int:
         """Requests the server refused to execute under overload (rejected
-        at admission plus timed out in the queue)."""
-        return self.requests_rejected + self.requests_timed_out
+        at admission, timed out in the queue, or cost-shed over the
+        watermark)."""
+        return self.requests_rejected + self.requests_timed_out + self.requests_cost_shed
 
 
 def _delta(now: CacheStats, base: CacheStats) -> CacheStats:
@@ -146,6 +160,8 @@ class ServeMetrics:
         self._failed = 0
         self._rejected = 0
         self._timed_out = 0
+        self._cost_shed = 0
+        self._cancelled = 0
         self._batches = 0
         self._coalesced = 0
         self._queue_depth = 0
@@ -173,6 +189,18 @@ class ServeMetrics:
         with self._lock:
             self._timed_out += 1
             self._queue_waits.append(float(queue_wait_s))
+
+    def record_cost_shed(self, queue_wait_s: float) -> None:
+        """Count one request dropped by cost-aware shedding (its queue wait
+        is recorded like a timeout's — shed work is the overload signal)."""
+        with self._lock:
+            self._cost_shed += 1
+            self._queue_waits.append(float(queue_wait_s))
+
+    def record_cancelled(self, n: int = 1) -> None:
+        """Count ``n`` client-cancelled requests dropped at dispatch."""
+        with self._lock:
+            self._cancelled += n
 
     def record_batch(self, size: int) -> None:
         """Count one dispatched engine pass covering ``size`` requests."""
@@ -220,6 +248,8 @@ class ServeMetrics:
                 requests_failed=self._failed,
                 requests_rejected=self._rejected,
                 requests_timed_out=self._timed_out,
+                requests_cost_shed=self._cost_shed,
+                requests_cancelled=self._cancelled,
                 batches_dispatched=self._batches,
                 requests_coalesced=self._coalesced,
                 queue_depth=self._queue_depth,

@@ -64,6 +64,8 @@ class ServePlan:
     op: str
     precision: Precision
     workers: int
+    #: Hosts the memory budget was divided across (1 = single machine).
+    hosts: int
     #: Window-aligned shard/chunk target in blocks (also the engine's
     #: ``block_chunk``); ``None`` means one-shot.
     block_chunk: int | None
@@ -131,11 +133,13 @@ def _plan(
     workers: int | None,
     workspace_fraction: float,
     max_intermediate_bytes: int | None,
+    hosts: int = 1,
 ) -> ServePlan:
     hist: BlockHistogram = block_width_histogram(fmt.partition, group)
     offsets = np.zeros(hist.num_windows + 1, dtype=np.int64)
     np.cumsum(hist.blocks_per_window, out=offsets[1:])
     num_blocks = hist.num_blocks
+    hosts = max(1, int(hosts))
 
     budget: MemoryBudget | None = None
     workspace: int | None = max_intermediate_bytes
@@ -143,6 +147,12 @@ def _plan(
         spec = device if isinstance(device, GPUSpec) else get_device(device)
         budget = derive_budget(spec, resident_bytes, workspace_fraction)
         workspace = budget.workspace_bytes
+    if workspace is not None and hosts > 1:
+        # A cluster serves one request across `hosts` machines whose device
+        # budgets the declared capacity stands for collectively: each host
+        # gets an equal share, so no single host is planned past 1/hosts of
+        # the workspace however the shards land.
+        workspace = int(workspace) // hosts
 
     if workspace is None or num_blocks == 0:
         # No budget to honour: one-shot, single shard.
@@ -153,6 +163,7 @@ def _plan(
             op=op,
             precision=fmt.precision,
             workers=plan_workers,
+            hosts=hosts,
             block_chunk=None,
             max_intermediate_bytes=None,
             bytes_per_block=bytes_per_block,
@@ -181,6 +192,7 @@ def _plan(
         op=op,
         precision=fmt.precision,
         workers=plan_workers,
+        hosts=hosts,
         block_chunk=chunk,
         max_intermediate_bytes=int(workspace),
         bytes_per_block=bytes_per_block,
@@ -204,6 +216,7 @@ def plan_spmm(
     workers: int | None = None,
     workspace_fraction: float = DEFAULT_WORKSPACE_FRACTION,
     max_intermediate_bytes: int | None = None,
+    hosts: int = 1,
 ) -> ServePlan:
     """Plan one SpMM: derive the streaming knobs from the device budget.
 
@@ -226,6 +239,9 @@ def plan_spmm(
     max_intermediate_bytes:
         Explicit byte budget that bypasses the device derivation (the old
         caller-supplied knob, kept for compatibility).
+    hosts:
+        Worker hosts the budget is divided across (cluster serving); the
+        per-host workspace share is ``workspace / hosts``.
     """
     precision = Precision(precision)
     n_dense = int(n_dense)
@@ -248,6 +264,7 @@ def plan_spmm(
         workers,
         workspace_fraction,
         max_intermediate_bytes,
+        hosts,
     )
 
 
@@ -259,6 +276,7 @@ def plan_sddmm(
     workers: int | None = None,
     workspace_fraction: float = DEFAULT_WORKSPACE_FRACTION,
     max_intermediate_bytes: int | None = None,
+    hosts: int = 1,
 ) -> ServePlan:
     """Plan one SDDMM (see :func:`plan_spmm`); ``k_dense`` is the inner
     feature dimension of the two dense inputs."""
@@ -284,4 +302,5 @@ def plan_sddmm(
         workers,
         workspace_fraction,
         max_intermediate_bytes,
+        hosts,
     )

@@ -44,6 +44,7 @@ import numpy as np
 from repro.formats.blocked import BlockedVectorFormat
 from repro.kernels.engine import (
     ShardRange,
+    sddmm_a_window,
     sddmm_shard_values,
     spmm_shard_rows,
     window_aligned_ranges,
@@ -116,17 +117,6 @@ def _attach(desc: ShmArray) -> tuple["shared_memory.SharedMemory", np.ndarray]:
 # ---------------------------------------------------------------------------
 # Worker-side task bodies (module-level: picklable by every start method)
 # ---------------------------------------------------------------------------
-def _sddmm_a_window(a_q: np.ndarray, w0: int, w1: int, v: int) -> np.ndarray:
-    """The zero-padded ``(w1 - w0, v, K)`` slab of A rows for a window range
-    — identical to the slab the one-shot engine gathers, so pooled and
-    inline shard executions stay bit-exact."""
-    k_dense = a_q.shape[1]
-    a_win = np.zeros(((w1 - w0) * v, k_dense), dtype=np.float32)
-    lo, hi = w0 * v, min(w1 * v, a_q.shape[0])
-    a_win[: hi - lo] = a_q[lo:hi]
-    return a_win.reshape(w1 - w0, v, k_dense)
-
-
 def _maybe_fail(task: dict) -> None:
     """Deterministic failure injection for the retry tests."""
     if task["attempt"] <= task.get("fail_times", 0):
@@ -170,7 +160,7 @@ def _run_sddmm_shard(task: dict) -> int:
             task["lane_valid"],
             task["vector_index"],
             task["local_window_of_block"],
-            _sddmm_a_window(a_q, task["w0"], task["w1"], task["v"]),
+            sddmm_a_window(a_q, task["w0"], task["w1"], task["v"]),
             b_q,
             task["scale_by_mask"],
         )
@@ -448,7 +438,7 @@ class ShardScheduler:
                     task["lane_valid"],
                     task["vector_index"],
                     task["local_window_of_block"],
-                    _sddmm_a_window(a_q, task["w0"], task["w1"], v),
+                    sddmm_a_window(a_q, task["w0"], task["w1"], v),
                     b_q,
                     task["scale_by_mask"],
                 )

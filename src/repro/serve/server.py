@@ -56,16 +56,53 @@ measures):
   joins the dispatcher; give it a ``timeout`` to bound the wait, and the
   expiry is surfaced as :class:`~repro.serve.errors.ServeTimeoutError`
   (the drain keeps running — call ``close`` again to keep waiting).
+
+Priority-aware dispatch
+-----------------------
+Dispatch order is no longer FIFO.  The dispatcher keeps drained requests
+in a pending buffer and, each round, picks the group led by the best
+request under ``(priority desc, deadline asc, arrival)`` — i.e. strict
+priority classes (``submit_*(..., priority=)``, higher runs first) with
+**earliest-deadline-first** inside a class and FIFO as the tie-break.
+Because the buffer is re-drained and re-ordered between groups, a
+high-priority request submitted while a long batch runs overtakes every
+lower-priority request still waiting.  Same-matrix batching still applies
+within the picked group, so a low-priority sibling can ride along with a
+high-priority request for free.
+
+Cost-aware load shedding
+------------------------
+The planner knows a request's useful FLOPs (``2·nnz·width``) at submit
+time, so under overload the server sheds *smart*: when the pending buffer
+exceeds ``shed_watermark``, the most expensive queued requests are failed
+with :class:`~repro.serve.errors.ServeShedError` until the buffer is back
+at the watermark.  Shedding one huge request frees as much capacity as
+shedding dozens of small ones, and the small ones are the majority of
+waiting clients.
+
+Cluster backend
+---------------
+``backend="cluster"`` swaps the in-process
+:class:`~repro.serve.scheduler.ShardScheduler` for the multi-host
+:class:`~repro.cluster.head.ClusterScheduler` (``hosts`` loopback worker
+subprocesses; real deployments pass addresses through
+``cluster_options``).  Admission, deadlines, priorities, shedding, the
+crash guard and :class:`~repro.serve.metrics.ServeMetrics` apply
+unchanged; groups execute on a small thread pool (``group_concurrency``,
+default = host count) so independent matrices keep every host busy, and
+host death below the scheduler is recovered by shard failover — the
+server stays ``healthy`` through it.
 """
 
 from __future__ import annotations
 
+import math
 import os
 import queue
 import threading
 import time
 from collections import OrderedDict
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -84,6 +121,7 @@ from repro.perfmodel.model import sddmm_useful_flops, spmm_useful_flops
 from repro.precision.types import Precision, quantize
 from repro.serve.errors import (
     DispatcherCrashedError,
+    ServeShedError,
     ServeTimeoutError,
     ServerClosedError,
     ServerOverloadedError,
@@ -108,6 +146,9 @@ PLAN_CACHE_CAPACITY = 256
 #: Admission policies for a full queue (see :class:`Server`).
 ADMISSION_POLICIES = ("block", "reject")
 
+#: Execution backends (see :class:`Server`).
+BACKENDS = ("local", "cluster")
+
 
 @dataclass
 class ServeRequest:
@@ -124,6 +165,23 @@ class ServeRequest:
     #: Absolute ``perf_counter`` deadline; ``None`` means wait forever.
     deadline: float | None = None
     dequeued_at: float = 0.0
+    #: Dispatch class: higher priorities execute first; EDF inside a class.
+    priority: int = 0
+    #: Arrival sequence number — the FIFO tie-break of the dispatch order.
+    seq: int = 0
+    #: Predicted useful FLOPs (``2·nnz·width``) — the cost-shedding key.
+    cost: float = 0.0
+    #: Whether dequeue accounting already ran for this request (crash-path
+    #: bookkeeping: stranded requests must be dequeue-accounted exactly once).
+    dequeued: bool = False
+    #: Whether the cancellation counter already saw this request (several
+    #: drop sites can observe the same cancelled future).
+    cancel_accounted: bool = False
+
+    def dispatch_order(self) -> tuple:
+        """Sort key: priority class desc, then EDF, then arrival order."""
+        deadline = math.inf if self.deadline is None else self.deadline
+        return (-self.priority, deadline, self.seq)
 
 
 @dataclass
@@ -158,6 +216,30 @@ class Server:
         Policy at the queue cap: ``"block"`` parks the submitter until a
         slot frees, ``"reject"`` raises
         :class:`~repro.serve.errors.ServerOverloadedError` immediately.
+    backend:
+        ``"local"`` (default): the in-process multi-`worker`
+        :class:`~repro.serve.scheduler.ShardScheduler`.  ``"cluster"``:
+        the multi-host :class:`~repro.cluster.head.ClusterScheduler`
+        with ``hosts`` loopback worker subprocesses.
+    hosts:
+        Worker-host count for ``backend="cluster"`` (default 1; ``0``
+        degrades to in-parent execution).  The planner divides the device
+        memory budget across hosts.
+    shed_watermark:
+        Soft cap on the dispatcher's pending buffer: above it, the most
+        expensive pending requests (by predicted FLOPs) are shed with
+        :class:`~repro.serve.errors.ServeShedError` until the buffer is
+        back at the watermark.  ``None`` (default) disables cost shedding.
+    group_concurrency:
+        Request groups executed concurrently (on a thread pool inside the
+        dispatcher).  Defaults to 1 for ``backend="local"`` — the strict
+        sequential order the latency accounting assumes — and to the host
+        count for ``backend="cluster"``, where independent matrices route
+        to different hosts and would otherwise idle them.
+    cluster_options:
+        Extra keyword arguments for the
+        :class:`~repro.cluster.head.ClusterScheduler` (heartbeat knobs,
+        explicit worker ``addresses=[(host, port), ...]``).
 
     Attributes
     ----------
@@ -179,6 +261,11 @@ class Server:
         start_method: str | None = None,
         max_queue_depth: int | None = None,
         admission: str = "block",
+        backend: str = "local",
+        hosts: int | None = None,
+        shed_watermark: int | None = None,
+        group_concurrency: int | None = None,
+        cluster_options: dict | None = None,
     ):
         self.device = device if (device is None or isinstance(device, GPUSpec)) else get_device(device)
         self.precision = Precision(precision)
@@ -189,18 +276,56 @@ class Server:
             raise ValueError(f"admission must be one of {ADMISSION_POLICIES}, got {admission!r}")
         if max_queue_depth is not None and int(max_queue_depth) < 1:
             raise ValueError("max_queue_depth must be >= 1 (or None for unbounded)")
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if shed_watermark is not None and int(shed_watermark) < 1:
+            raise ValueError("shed_watermark must be >= 1 (or None to disable)")
         self.max_queue_depth = None if max_queue_depth is None else int(max_queue_depth)
         self.admission = admission
+        self.backend = backend
+        self.shed_watermark = None if shed_watermark is None else int(shed_watermark)
         self.metrics = ServeMetrics()
-        sched_kwargs = {} if retries is None else {"retries": retries}
-        # Pool size: the planner may use fewer workers per request, never
-        # more than the pool holds.
-        pool_size = workers if workers is not None else min(os.cpu_count() or 1, MAX_PLANNED_WORKERS)
-        self.scheduler = ShardScheduler(
-            workers=pool_size, start_method=start_method, **sched_kwargs
+        if backend == "cluster":
+            from repro.cluster.head import ClusterScheduler
+
+            if retries is not None:
+                # The shard-retry budget is a process-pool knob; cluster
+                # recovery is failover-driven.  Reject rather than silently
+                # drop the caller's expectation.
+                raise ValueError('retries applies to backend="local" only')
+            self.hosts = 1 if hosts is None else int(hosts)
+            if self.hosts < 0:
+                raise ValueError("hosts must be >= 0")
+            self.scheduler = ClusterScheduler(
+                hosts=self.hosts,
+                start_method=start_method,
+                **(cluster_options or {}),
+            )
+            # Explicit addresses in cluster_options override the spawn
+            # count: budget division and group concurrency must follow the
+            # hosts actually registered, not the requested spawn count.
+            self.hosts = len(self.scheduler.hosts)
+            default_concurrency = max(1, self.hosts)
+        else:
+            if hosts is not None:
+                raise ValueError('hosts applies to backend="cluster" only')
+            if cluster_options is not None:
+                raise ValueError('cluster_options applies to backend="cluster" only')
+            self.hosts = 1
+            sched_kwargs = {} if retries is None else {"retries": retries}
+            # Pool size: the planner may use fewer workers per request,
+            # never more than the pool holds.
+            pool_size = workers if workers is not None else min(os.cpu_count() or 1, MAX_PLANNED_WORKERS)
+            self.scheduler = ShardScheduler(
+                workers=pool_size, start_method=start_method, **sched_kwargs
+            )
+            default_concurrency = 1
+        self.group_concurrency = (
+            default_concurrency if group_concurrency is None else max(1, int(group_concurrency))
         )
         self._plans: "OrderedDict[tuple, tuple[BlockedVectorFormat, ServePlan]]" = OrderedDict()
         self._plan_capacity = PLAN_CACHE_CAPACITY
+        self._plans_lock = threading.Lock()
         self._queue: "queue.SimpleQueue[ServeRequest | _Stop]" = queue.SimpleQueue()
         # Serialises submit vs close vs crash: nothing can enter the queue
         # after the _Stop sentinel (or after the crash handler drained it),
@@ -209,30 +334,52 @@ class Server:
         self._submit_lock = threading.Lock()
         self._admission = threading.Condition(self._submit_lock)
         self._queued = 0  # authoritative queue depth for admission
+        self._seq = 0  # arrival sequence (FIFO tie-break), under the lock
         self._closed = False
         self.healthy = True
         self._crash_cause: BaseException | None = None
-        #: Requests drained from the queue but not yet executed — visible to
-        #: the crash handler so a fault between drain and execution cannot
-        #: strand them.
+        #: Requests drained from the queue but not yet picked for execution
+        #: (the dispatch-order buffer).  Dispatcher-thread private; the
+        #: crash handler runs on the same thread.
+        self._pending: list[ServeRequest] = []
+        #: Requests picked into groups that are executing right now —
+        #: visible to the crash handler so a fault between pick and
+        #: execution cannot strand them.  Guarded by ``_dispatch_lock``
+        #: (group threads remove entries when concurrency > 1).
         self._in_dispatch: list[ServeRequest] = []
+        self._dispatch_lock = threading.Lock()
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
         )
         self._dispatcher.start()
 
     # ----------------------------------------------------------- client API
-    def submit_spmm(self, matrix, b: np.ndarray, timeout: float | None = None):
+    def submit_spmm(
+        self,
+        matrix,
+        b: np.ndarray,
+        timeout: float | None = None,
+        priority: int = 0,
+    ):
         """Enqueue ``matrix @ b``; returns a Future of :class:`SpmmResult`.
 
         ``timeout`` (seconds) is a queueing deadline: if the request is
         still waiting for dispatch when it expires, the server sheds it and
         the future raises :class:`~repro.serve.errors.ServeTimeoutError`.
+        ``priority`` picks the dispatch class (higher runs first; EDF
+        within a class — see the module docstring).
         """
         inp = _as_input(matrix)
         b = check_dense_matrix(np.asarray(b), "b", n_rows=inp.shape[1])
         return self._enqueue(
-            ServeRequest(op="spmm", csr=inp.csr, key=inp.csr.content_key(), b=b),
+            ServeRequest(
+                op="spmm",
+                csr=inp.csr,
+                key=inp.csr.content_key(),
+                b=b,
+                priority=int(priority),
+                cost=float(spmm_useful_flops(inp.csr.nnz, b.shape[1])),
+            ),
             timeout,
         )
 
@@ -243,9 +390,11 @@ class Server:
         b: np.ndarray,
         scale_by_mask: bool = False,
         timeout: float | None = None,
+        priority: int = 0,
     ):
         """Enqueue a sampled dense×dense; returns a Future of
-        :class:`SddmmResult`.  ``timeout`` as for :meth:`submit_spmm`."""
+        :class:`SddmmResult`.  ``timeout`` / ``priority`` as for
+        :meth:`submit_spmm`."""
         inp = _as_input(mask)
         a = check_dense_matrix(np.asarray(a), "a", n_rows=inp.shape[0])
         b = check_dense_matrix(np.asarray(b), "b", n_rows=inp.shape[1])
@@ -259,6 +408,8 @@ class Server:
                 b=b,
                 a=a,
                 scale_by_mask=scale_by_mask,
+                priority=int(priority),
+                cost=float(sddmm_useful_flops(inp.csr.nnz, a.shape[1])),
             ),
             timeout,
         )
@@ -291,6 +442,8 @@ class Server:
                     self._admission.wait()
                     self._check_open()
             self._queued += 1
+            self._seq += 1
+            req.seq = self._seq
             self.metrics.record_submitted()
             self._queue.put(req)
         return req.future
@@ -348,40 +501,188 @@ class Server:
             self.scheduler.close()
 
     def _run_dispatch(self) -> None:
-        stopping = False
-        while not stopping:
+        pool: ThreadPoolExecutor | None = None
+        slots: threading.Semaphore | None = None
+        if self.group_concurrency > 1:
+            pool = ThreadPoolExecutor(
+                max_workers=self.group_concurrency, thread_name_prefix="repro-serve-exec"
+            )
+            slots = threading.Semaphore(self.group_concurrency)
+        try:
+            stopping = False
+            while True:
+                # Top up the pending buffer.  Block only when idle: with
+                # work pending the drain is a peek, so a freshly arrived
+                # high-priority request joins the ordering immediately.
+                stopping = self._drain_queue(block=not self._pending and not stopping) or stopping
+                if not self._pending:
+                    if stopping:
+                        break
+                    continue
+                submitted = False
+                if slots is not None:
+                    # Reserve execution capacity *before* choosing a group:
+                    # the pick below then sees every request that arrived
+                    # while capacity was busy, so a late high-priority
+                    # request still overtakes the waiting backlog — and
+                    # requests stay admission-accounted as queued while
+                    # they are genuinely waiting, not executing.
+                    slots.acquire()
+                    stopping = self._drain_queue(block=False) or stopping
+                try:
+                    now = time.perf_counter()
+                    self._shed_expired_pending(now)
+                    self._shed_over_watermark(now)
+                    if not self._pending:
+                        continue
+                    # Dispatch order: priority class, then EDF, then arrival.
+                    self._pending.sort(key=ServeRequest.dispatch_order)
+                    group = self._group(self._pending)[0]
+                    chosen = {id(req) for req in group}
+                    with self._dispatch_lock:
+                        self._in_dispatch.extend(group)
+                    self._pending = [req for req in self._pending if id(req) not in chosen]
+                    self._mark_dequeued(group)
+                    if pool is None:
+                        try:
+                            self._execute_group(group)
+                        finally:
+                            self._forget_dispatched(group)
+                    else:
+                        pool.submit(self._execute_group_tracked, group, slots)
+                        submitted = True
+                finally:
+                    if slots is not None and not submitted:
+                        slots.release()
+        finally:
+            # Runs before the crash handler (and before scheduler teardown):
+            # in-flight groups finish against a live scheduler and resolve
+            # their own futures; only then is anything stranded failed.
+            if pool is not None:
+                pool.shutdown(wait=True)
+
+    def _drain_queue(self, block: bool) -> bool:
+        """Move queued requests into the pending buffer; True on ``_Stop``."""
+        stop_seen = False
+        if block:
             try:
                 first = self._queue.get(timeout=0.1)
             except queue.Empty:
-                continue
-            drained: list[ServeRequest] = []
+                return False
             if isinstance(first, _Stop):
-                stopping = True
+                stop_seen = True
             else:
-                drained.append(first)
-            # Batch whatever is queued right now (no artificial wait).
-            while True:
-                try:
-                    nxt = self._queue.get_nowait()
-                except queue.Empty:
-                    break
-                if isinstance(nxt, _Stop):
-                    stopping = True
-                else:
-                    drained.append(nxt)
-            if not drained:
+                self._pending.append(first)
+        while True:
+            try:
+                nxt = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if isinstance(nxt, _Stop):
+                stop_seen = True
+            else:
+                self._pending.append(nxt)
+        return stop_seen
+
+    def _record_cancelled(self, req: ServeRequest) -> None:
+        """Count a client-cancelled request exactly once (any drop site may
+        observe it first); keeps the in-flight identity exact."""
+        if req.cancel_accounted:
+            return
+        req.cancel_accounted = True
+        try:
+            self.metrics.record_cancelled()
+        except Exception:  # accounting must never break execution paths
+            pass
+
+    def _account_shed_from_pending(self, req: ServeRequest) -> None:
+        """Dequeue accounting for a request leaving the buffer unexecuted."""
+        self.metrics.record_dequeued(1)
+        req.dequeued = True
+        with self._admission:
+            self._queued -= 1
+            self._admission.notify_all()
+
+    def _shed_expired_pending(self, now: float) -> None:
+        """Fail deadline-expired pending requests before they are picked."""
+        live: list[ServeRequest] = []
+        for req in self._pending:
+            if req.deadline is None or now <= req.deadline:
+                live.append(req)
                 continue
-            self._in_dispatch = drained
-            now = time.perf_counter()
-            for req in drained:
-                req.dequeued_at = now
-            self.metrics.record_dequeued(len(drained))
-            with self._admission:
-                self._queued -= len(drained)
-                self._admission.notify_all()
-            for group in self._group(self._shed_expired(drained, now)):
-                self._execute_group(group)
-            self._in_dispatch = []
+            self._account_shed_from_pending(req)
+            if not req.future.done():
+                waited = now - req.submitted_at
+                req.future.set_exception(
+                    ServeTimeoutError(
+                        f"request shed: deadline exceeded after {waited:.3f}s in queue"
+                    )
+                )
+                self.metrics.record_timed_out(waited)
+            else:
+                # Expired *and* already resolved (client-cancelled while
+                # queued): drop it — executing would set_result on a done
+                # future — but keep the in-flight identity exact.
+                self._record_cancelled(req)
+        self._pending = live
+
+    def _shed_over_watermark(self, now: float) -> None:
+        """Cost-aware shedding: over the watermark, drop the most expensive
+        pending requests first (the planner's FLOPs estimate is the cost)."""
+        if self.shed_watermark is None or len(self._pending) <= self.shed_watermark:
+            return
+        excess = len(self._pending) - self.shed_watermark
+        doomed = sorted(self._pending, key=lambda r: (-r.cost, r.seq))[:excess]
+        doomed_ids = {id(req) for req in doomed}
+        self._pending = [req for req in self._pending if id(req) not in doomed_ids]
+        for req in doomed:
+            self._account_shed_from_pending(req)
+            if not req.future.done():
+                waited = now - req.submitted_at
+                req.future.set_exception(
+                    ServeShedError(
+                        f"request shed: queue over watermark "
+                        f"({self.shed_watermark}) and this request's predicted "
+                        f"cost ({req.cost:.3g} FLOPs) ranked highest"
+                    )
+                )
+                self.metrics.record_cost_shed(waited)
+            else:  # client-cancelled while queued
+                self._record_cancelled(req)
+
+    def _mark_dequeued(self, group: list[ServeRequest]) -> None:
+        """Dequeue accounting for a group picked for execution."""
+        now = time.perf_counter()
+        for req in group:
+            req.dequeued_at = now
+        self.metrics.record_dequeued(len(group))
+        for req in group:
+            req.dequeued = True
+        with self._admission:
+            self._queued -= len(group)
+            self._admission.notify_all()
+
+    def _forget_dispatched(self, group: list[ServeRequest]) -> None:
+        done = {id(req) for req in group}
+        with self._dispatch_lock:
+            self._in_dispatch = [req for req in self._in_dispatch if id(req) not in done]
+
+    def _execute_group_tracked(self, group: list[ServeRequest], slots) -> None:
+        """Pool-thread wrapper: :meth:`_execute_group` already contains the
+        per-group failure guard; this adds last-resort stranding protection
+        and releases the concurrency slot."""
+        try:
+            self._execute_group(group)
+        except BaseException as exc:  # pragma: no cover - belt and braces
+            for req in group:
+                if not req.future.done():
+                    try:
+                        req.future.set_exception(exc)
+                    except Exception:
+                        pass
+        finally:
+            self._forget_dispatched(group)
+            slots.release()
 
     def _shed_expired(self, requests: list[ServeRequest], now: float) -> list[ServeRequest]:
         """Fail deadline-expired requests before execution; return the rest."""
@@ -397,8 +698,11 @@ class Server:
                     )
                 )
                 self.metrics.record_timed_out(waited)
-            # Expired *and* already resolved (e.g. client-cancelled while
-            # queued): drop it — executing would set_result on a done future.
+            else:
+                # Expired *and* already resolved (e.g. client-cancelled
+                # while queued): drop it — executing would set_result on a
+                # done future.
+                self._record_cancelled(req)
         return live
 
     def _handle_crash(self, exc: BaseException) -> None:
@@ -406,9 +710,11 @@ class Server:
         with self._admission:
             self.healthy = False
             self._crash_cause = exc
-            stranded = list(self._in_dispatch)
-            self._in_dispatch = []
-            from_queue = 0
+            with self._dispatch_lock:
+                stranded = list(self._in_dispatch)
+                self._in_dispatch = []
+            stranded.extend(self._pending)
+            self._pending = []
             while True:
                 try:
                     nxt = self._queue.get_nowait()
@@ -416,26 +722,40 @@ class Server:
                     break
                 if not isinstance(nxt, _Stop):
                     stranded.append(nxt)
-                    from_queue += 1
             self._queued = 0
             # Wake blocked submitters: they re-check and see the crash.
             self._admission.notify_all()
         now = time.perf_counter()
         failed: list[ServeRequest] = []
+        not_dequeued = 0
+        seen: set[int] = set()
         for req in stranded:
+            if id(req) in seen:  # pick-time crash window: listed twice
+                continue
+            seen.add(id(req))
+            if not req.dequeued:
+                not_dequeued += 1
             if req.future.done():
                 # Already resolved (completed or shed) before the crash —
                 # its terminal outcome is counted; don't double-count.
+                # Client-cancelled futures are the exception: no other site
+                # ever accounted them.
+                if req.future.cancelled():
+                    self._record_cancelled(req)
                 continue
             err = DispatcherCrashedError("serve dispatcher crashed; request abandoned")
             err.__cause__ = exc
-            req.future.set_exception(err)
+            try:
+                req.future.set_exception(err)
+            except Exception:
+                # Lost the race against an in-flight group resolving it.
+                continue
             failed.append(req)
         # Metrics last, and guarded: the crash may *be* a metrics fault, and
         # accounting must never keep a future from resolving.
         try:
-            if from_queue:
-                self.metrics.record_dequeued(from_queue)
+            if not_dequeued:
+                self.metrics.record_dequeued(not_dequeued)
             for req in failed:
                 self.metrics.record_failed(now - req.submitted_at)
         except Exception:
@@ -463,23 +783,34 @@ class Server:
 
     # ------------------------------------------------------------ execution
     def _plan_for(self, fmt: BlockedVectorFormat, op: str, width: int) -> ServePlan:
-        key = (op, id(fmt), width)
-        entry = self._plans.get(key)
-        # The pinned fmt reference both prevents id-reuse aliasing (a GC'd
-        # format's id recycled by a different matrix) and is verified anyway.
-        if entry is not None and entry[0] is fmt:
+        # Lock-guarded end to end: with ``group_concurrency > 1`` (the
+        # cluster default) concurrent group threads share this OrderedDict,
+        # and an unguarded move_to_end/popitem interleaving corrupts it.
+        # Planning itself is cheap and memoised, so holding the lock across
+        # a miss is simpler than double-compute-and-race on the store.
+        with self._plans_lock:
+            key = (op, id(fmt), width)
+            entry = self._plans.get(key)
+            # The pinned fmt reference both prevents id-reuse aliasing (a
+            # GC'd format's id recycled by a different matrix) and is
+            # verified anyway.
+            if entry is not None and entry[0] is fmt:
+                self._plans.move_to_end(key)
+                return entry[1]
+            planner = plan_spmm if op == "spmm" else plan_sddmm
+            kwargs = {"workers": self.requested_workers, "hosts": self.hosts}
+            if self.backend == "cluster" and self.requested_workers is None:
+                # A worker host executes one shard at a time: plan per-host
+                # chunks for a single consumer, not a local thread pool.
+                kwargs["workers"] = 1
+            if self.workspace_fraction is not None:
+                kwargs["workspace_fraction"] = self.workspace_fraction
+            plan = planner(fmt, width, device=self.device, precision=self.precision, **kwargs)
+            self._plans[key] = (fmt, plan)
             self._plans.move_to_end(key)
-            return entry[1]
-        planner = plan_spmm if op == "spmm" else plan_sddmm
-        kwargs = {"workers": self.requested_workers}
-        if self.workspace_fraction is not None:
-            kwargs["workspace_fraction"] = self.workspace_fraction
-        plan = planner(fmt, width, device=self.device, precision=self.precision, **kwargs)
-        self._plans[key] = (fmt, plan)
-        self._plans.move_to_end(key)
-        while len(self._plans) > self._plan_capacity:
-            self._plans.popitem(last=False)
-        return plan
+            while len(self._plans) > self._plan_capacity:
+                self._plans.popitem(last=False)
+            return plan
 
     def _execute_group(self, group: list[ServeRequest]) -> None:
         # Re-check deadlines at execution time: earlier groups of the same
@@ -498,6 +829,15 @@ class Server:
                 if not req.future.done():
                     req.future.set_exception(exc)
                     self.metrics.record_failed(now - req.submitted_at)
+                elif req.future.cancelled():
+                    self._record_cancelled(req)
+
+    def _routing_kwargs(self, req: ServeRequest) -> dict:
+        """Extra scheduler arguments: the cluster head routes by content
+        key and ships the request's own CSR payload to the worker hosts."""
+        if self.backend != "cluster":
+            return {}
+        return {"csr": req.csr, "content_key": req.key}
 
     def _record_done(self, req: ServeRequest, now: float) -> None:
         self.metrics.record_completed(
@@ -516,13 +856,23 @@ class Server:
         b_q = quantize(b_cat, self.precision).astype(np.float32)
         plan = self._plan_for(fmt, "spmm", n_total)
         out = self.scheduler.run_spmm(
-            fmt, b_q, self.precision, target_blocks=plan.block_chunk
+            fmt,
+            b_q,
+            self.precision,
+            target_blocks=plan.block_chunk,
+            **self._routing_kwargs(group[0]),
         )
         offset = 0
         now = time.perf_counter()
         for req, width in zip(group, widths):
             values = np.ascontiguousarray(out[:, offset : offset + width])
             offset += width
+            if req.future.done():
+                # Client-cancelled while queued (without a deadline, so the
+                # shed passes kept it): setting a result would raise
+                # InvalidStateError and poison every later sibling.
+                self._record_cancelled(req)
+                continue
             counter = spmm_flash_cost(
                 fmt, width, FlashSparseConfig(precision=self.precision)
             )
@@ -532,15 +882,23 @@ class Server:
                 useful_flops=spmm_useful_flops(fmt.nnz, width),
                 meta={
                     "engine": "serve",
+                    "backend": self.backend,
                     "workers": self.scheduler.workers,
                     "batched_with": len(group) - 1,
                     "plan": plan,
                 },
             )
-            req.future.set_result(result)
+            try:
+                req.future.set_result(result)
+            except InvalidStateError:  # cancelled between the check and here
+                self._record_cancelled(req)
+                continue
             self._record_done(req, now)
 
     def _execute_sddmm(self, req: ServeRequest) -> None:
+        if req.future.done():  # client-cancelled while queued: see SpMM path
+            self._record_cancelled(req)
+            return
         fmt = cached_mebcrs(req.csr, self.precision, by_content=True)
         self.metrics.record_batch(1)
         k_dense = req.a.shape[1]
@@ -555,6 +913,7 @@ class Server:
             VECTORS_PER_OUTPUT_BLOCK,
             scale_by_mask=req.scale_by_mask,
             target_blocks=plan.block_chunk,
+            **self._routing_kwargs(req),
         )
         output = BlockedVectorFormat(
             partition=fmt.partition,
@@ -570,10 +929,15 @@ class Server:
             useful_flops=sddmm_useful_flops(fmt.nnz, k_dense),
             meta={
                 "engine": "serve",
+                "backend": self.backend,
                 "workers": self.scheduler.workers,
                 "scale_by_mask": req.scale_by_mask,
                 "plan": plan,
             },
         )
-        req.future.set_result(result)
+        try:
+            req.future.set_result(result)
+        except InvalidStateError:  # cancelled between the check and here
+            self._record_cancelled(req)
+            return
         self._record_done(req, time.perf_counter())

@@ -1,0 +1,114 @@
+"""Property tests for ``ops.segment_matmul`` against a per-segment loop oracle.
+
+The contract is bit-identical agreement with the obvious per-segment loop:
+bucketed batching stacks same-shaped segments into one 3-D matmul, which
+leaves each segment's product association order unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ops import segment_matmul
+
+
+def _loop_oracle(data, offsets, weights):
+    return [
+        np.asarray(data[offsets[s] : offsets[s + 1]]) @ np.asarray(weights[s])
+        for s in range(len(weights))
+    ]
+
+
+def _random_segments(rng, n_segments, k, max_len=7, allow_empty=True):
+    lengths = rng.integers(0 if allow_empty else 1, max_len + 1, size=n_segments)
+    offsets = np.zeros(n_segments + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    data = rng.standard_normal((int(offsets[-1]), k)).astype(np.float32)
+    return data, offsets
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_uniform_width_matches_loop_bitwise(seed):
+    rng = np.random.default_rng(seed)
+    n_segments = int(rng.integers(1, 12))
+    k = int(rng.integers(1, 9))
+    n = int(rng.integers(1, 9))
+    data, offsets = _random_segments(rng, n_segments, k)
+    weights = rng.standard_normal((n_segments, k, n)).astype(np.float32)
+    out = segment_matmul(data, offsets, weights)
+    assert isinstance(out, np.ndarray) and out.shape == (data.shape[0], n)
+    for s, expected in enumerate(_loop_oracle(data, offsets, weights)):
+        np.testing.assert_array_equal(out[offsets[s] : offsets[s + 1]], expected)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_mixed_widths_match_loop_bitwise(seed):
+    """Heterogeneous feature sizes: each segment has its own output width."""
+    rng = np.random.default_rng(100 + seed)
+    n_segments = int(rng.integers(2, 10))
+    k = int(rng.integers(1, 9))
+    data, offsets = _random_segments(rng, n_segments, k)
+    weights = [
+        rng.standard_normal((k, int(rng.integers(1, 10)))).astype(np.float32)
+        for _ in range(n_segments)
+    ]
+    out = segment_matmul(data, offsets, weights)
+    if len({w.shape[1] for w in weights}) == 1:
+        # The rng may have drawn uniform widths: stacked result.
+        out = [out[offsets[s] : offsets[s + 1]] for s in range(n_segments)]
+    assert isinstance(out, list) and len(out) == n_segments
+    for got, expected, w in zip(out, _loop_oracle(data, offsets, weights), weights):
+        assert got.shape == (expected.shape[0], w.shape[1])
+        np.testing.assert_array_equal(got, expected)
+
+
+def test_empty_segments_produce_empty_products():
+    data = np.ones((3, 2), np.float32)
+    offsets = np.array([0, 0, 3, 3], dtype=np.int64)
+    weights = [np.ones((2, 4), np.float32)] * 3
+    out = segment_matmul(data, offsets, weights)
+    np.testing.assert_array_equal(out, np.full((3, 4), 2.0, np.float32))
+
+
+def test_zero_rows_total():
+    data = np.zeros((0, 3), np.float32)
+    offsets = np.array([0, 0, 0], dtype=np.int64)
+    out = segment_matmul(data, offsets, [np.ones((3, 2), np.float32)] * 2)
+    assert out.shape == (0, 2)
+
+
+def test_dtype_promotion_float64_weights():
+    rng = np.random.default_rng(7)
+    data, offsets = _random_segments(rng, 4, 3, allow_empty=False)
+    weights = rng.standard_normal((4, 3, 5))  # float64
+    out = segment_matmul(data, offsets, weights)
+    assert out.dtype == np.float64
+    for s, expected in enumerate(_loop_oracle(data.astype(np.float64), offsets, weights)):
+        np.testing.assert_allclose(out[offsets[s] : offsets[s + 1]], expected, rtol=1e-15)
+
+
+def test_bucketing_groups_equal_shapes():
+    """Many segments of equal (length, width) — the batched fast path —
+    still agree bitwise with the loop."""
+    rng = np.random.default_rng(11)
+    n_segments, length, k, n = 64, 5, 8, 6
+    offsets = np.arange(n_segments + 1, dtype=np.int64) * length
+    data = rng.standard_normal((n_segments * length, k)).astype(np.float32)
+    weights = rng.standard_normal((n_segments, k, n)).astype(np.float32)
+    out = segment_matmul(data, offsets, weights)
+    for s, expected in enumerate(_loop_oracle(data, offsets, weights)):
+        np.testing.assert_array_equal(out[offsets[s] : offsets[s + 1]], expected)
+
+
+def test_validation_errors():
+    data = np.ones((4, 3), np.float32)
+    offsets = np.array([0, 2, 4], dtype=np.int64)
+    with pytest.raises(ValueError):  # wrong weight count
+        segment_matmul(data, offsets, [np.ones((3, 2))])
+    with pytest.raises(ValueError):  # inner-dimension mismatch
+        segment_matmul(data, offsets, [np.ones((2, 2)), np.ones((3, 2))])
+    with pytest.raises(ValueError):  # 1-D data
+        segment_matmul(np.ones(4), offsets, [np.ones((3, 2))] * 2)
+    with pytest.raises(ValueError):  # offsets do not cover the data
+        segment_matmul(data, np.array([0, 2, 3]), [np.ones((3, 2))] * 2)
