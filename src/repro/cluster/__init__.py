@@ -6,9 +6,15 @@ shards of each SpMM / SDDMM to worker hosts
 (:mod:`repro.cluster.worker`) over a length-prefixed binary frame
 protocol (:mod:`repro.cluster.transport` — raw ndarray buffers, no
 pickle), reassembles the shard results without any shared output buffer
-(:mod:`repro.cluster.assembly`), and recovers from host death by
-re-dispatching the dead host's shards to survivors (in-parent as the
-last resort).  Routing is by matrix content key under rendezvous
+(:mod:`repro.cluster.assembly`), and treats failure as a normal operating
+mode: hosts move through a HEALTHY → SUSPECT → DEAD → RECOVERING health
+state machine (:mod:`repro.cluster.membership`), transient transport
+failures are retried with bounded exponential backoff
+(:class:`~repro.cluster.transport.RetryPolicy`), dead hosts' shards are
+re-dispatched to survivors (in-parent as the last resort) and later
+readmitted by a background probe, and the fleet itself is mutable at
+runtime (``add_host`` / ``remove_host``).  Routing is by matrix content
+key under rendezvous
 hashing, so every host's own translation cache serves repeat requests
 for "its" matrices — the multi-host analogue of the serving frontend's
 content-keyed translation dedup.
@@ -33,12 +39,16 @@ from repro.cluster.errors import (
     AssemblyError,
     ClusterError,
     HostDeadError,
+    MembershipError,
     WorkerTaskError,
 )
 from repro.cluster.head import ClusterScheduler, HostState, rendezvous_rank
+from repro.cluster.membership import HostHealth, MembershipProbe
 from repro.cluster.metrics import ClusterMetrics
 from repro.cluster.transport import (
     ConnectionClosedError,
+    FrameTooLargeError,
+    RetryPolicy,
     TransportError,
     recv_message,
     send_message,
@@ -51,8 +61,13 @@ __all__ = [
     "ClusterMetrics",
     "ClusterScheduler",
     "ConnectionClosedError",
+    "FrameTooLargeError",
     "HostDeadError",
+    "HostHealth",
     "HostState",
+    "MembershipError",
+    "MembershipProbe",
+    "RetryPolicy",
     "SddmmAssembly",
     "SpmmAssembly",
     "TransportError",

@@ -9,11 +9,19 @@ row slice of their window range, SDDMM shards return ``(vector_index,
 values)`` scatter pairs.
 
 Correctness is enforced, not assumed: shards are window-aligned, so their
-output regions are disjoint by construction — an overlapping write, a
-duplicate shard id or a missing shard at :meth:`result` time means the
+output regions are disjoint by construction — an overlapping write from a
+*different* shard or a missing shard at :meth:`result` time means the
 head's routing bookkeeping is broken and raises
 :class:`~repro.cluster.errors.AssemblyError` rather than returning a
 partially (or doubly) written output.
+
+One class of duplicates is legitimate: **speculative execution** hands the
+same shard to two hosts, and both copies may answer.  Re-delivery of a
+shard id is therefore *suppressed* (counted in ``duplicates_suppressed``,
+not applied) when it is byte-identical to what the shard already placed —
+which a speculative duplicate always is, because shard execution is
+bit-deterministic — and rejected as corruption when it differs in
+placement or content.
 """
 
 from __future__ import annotations
@@ -35,17 +43,17 @@ class SpmmAssembly:
         self.out = np.zeros((int(n_rows), int(n_dense)), dtype=np.float32)
         self.num_shards = int(num_shards)
         self._covered = np.zeros(int(n_rows), dtype=bool)
-        self._seen: set[int] = set()
+        self._placed: dict[int, tuple[int, tuple]] = {}  # shard -> (row0, shape)
+        self.duplicates_suppressed = 0
 
     def add(self, shard: int, row0: int, rows: np.ndarray) -> None:
         """Place shard ``shard``'s row block starting at matrix row ``row0``.
 
         The tail window's rows past ``n_rows`` are clipped, mirroring the
-        shared-memory scatter.
+        shared-memory scatter.  A byte-identical re-delivery (a speculative
+        duplicate) is suppressed; a differing one raises.
         """
         shard = int(shard)
-        if shard in self._seen:
-            raise AssemblyError(f"shard {shard} delivered twice")
         if not 0 <= shard < self.num_shards:
             raise AssemblyError(f"unknown shard id {shard} (have {self.num_shards})")
         row0 = int(row0)
@@ -54,17 +62,27 @@ class SpmmAssembly:
                 f"shard {shard} returned rows of shape {rows.shape} at row {row0}"
             )
         stop = min(row0 + rows.shape[0], self.out.shape[0])
+        placed = self._placed.get(shard)
+        if placed is not None:
+            if placed == (row0, rows.shape) and np.array_equal(
+                self.out[row0:stop], rows[: stop - row0]
+            ):
+                self.duplicates_suppressed += 1
+                return
+            raise AssemblyError(
+                f"shard {shard} delivered twice with differing placement or content"
+            )
         if stop > row0:
             if self._covered[row0:stop].any():
                 raise AssemblyError(f"shard {shard} overlaps already-covered rows")
             self.out[row0:stop] = rows[: stop - row0]
             self._covered[row0:stop] = True
-        self._seen.add(shard)
+        self._placed[shard] = (row0, rows.shape)
 
     @property
     def missing_shards(self) -> int:
         """Shards dispatched but not yet delivered."""
-        return self.num_shards - len(self._seen)
+        return self.num_shards - len(self._placed)
 
     def result(self) -> np.ndarray:
         """The assembled output; raises if any shard never arrived."""
@@ -83,16 +101,27 @@ class SddmmAssembly:
         self.out = np.zeros(out_shape, dtype=np.float32)
         self.num_shards = int(num_shards)
         self._covered = np.zeros(out_shape[0] if len(out_shape) else 0, dtype=bool)
-        self._seen: set[int] = set()
+        self._placed: dict[int, np.ndarray] = {}  # shard -> scatter indices
+        self.duplicates_suppressed = 0
 
     def add(self, shard: int, vector_index: np.ndarray, values: np.ndarray) -> None:
-        """Scatter shard ``shard``'s sampled values to their nonzero vectors."""
+        """Scatter shard ``shard``'s sampled values to their nonzero vectors.
+
+        A byte-identical re-delivery (a speculative duplicate) is
+        suppressed; a differing one raises.
+        """
         shard = int(shard)
-        if shard in self._seen:
-            raise AssemblyError(f"shard {shard} delivered twice")
         if not 0 <= shard < self.num_shards:
             raise AssemblyError(f"unknown shard id {shard} (have {self.num_shards})")
         idx = np.asarray(vector_index, dtype=np.int64)
+        placed = self._placed.get(shard)
+        if placed is not None:
+            if np.array_equal(placed, idx) and np.array_equal(self.out[idx], values):
+                self.duplicates_suppressed += 1
+                return
+            raise AssemblyError(
+                f"shard {shard} delivered twice with differing placement or content"
+            )
         if idx.size:
             if idx.min() < 0 or idx.max() >= self.out.shape[0]:
                 raise AssemblyError(f"shard {shard} scatter index out of range")
@@ -100,12 +129,12 @@ class SddmmAssembly:
                 raise AssemblyError(f"shard {shard} overlaps already-covered vectors")
             self.out[idx] = values
             self._covered[idx] = True
-        self._seen.add(shard)
+        self._placed[shard] = idx
 
     @property
     def missing_shards(self) -> int:
         """Shards dispatched but not yet delivered."""
-        return self.num_shards - len(self._seen)
+        return self.num_shards - len(self._placed)
 
     def result(self) -> np.ndarray:
         """The assembled value array; raises if any shard never arrived."""

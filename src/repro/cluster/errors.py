@@ -38,6 +38,15 @@ class WorkerTaskError(ClusterError):
     """
 
 
+class MembershipError(ClusterError):
+    """A runtime membership operation was invalid.
+
+    Raised by ``add_host`` / ``remove_host`` for duplicate or unknown host
+    ids and for operations against a closed cluster — programming errors at
+    the call site, never a recoverable runtime condition.
+    """
+
+
 class AssemblyError(ClusterError):
     """Shard results do not reassemble into a complete, disjoint output.
 

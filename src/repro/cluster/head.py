@@ -1,4 +1,4 @@
-"""Cluster head: host registry, affinity routing, failure recovery.
+"""Cluster head: host registry, affinity routing, fault-tolerant dispatch.
 
 The :class:`ClusterScheduler` is the multi-host counterpart of the
 single-host :class:`~repro.serve.scheduler.ShardScheduler` and presents the
@@ -17,13 +17,23 @@ changes underneath:
   it — while distinct matrices spread evenly, and removing a host only
   remaps the keys that pointed at it (DGL's partition-affinity routing,
   with rendezvous instead of a static partition book).
-* **Host-failure recovery.**  A host is declared dead on a connection
-  error (send/recv failure — a killed host is detected the moment its
-  socket resets) *or* a heartbeat timeout (ping with no pong while idle).
-  Its in-flight and queued shards fail over to the next live host in the
-  key's rendezvous order; with no live host left, the head executes the
-  shards in-parent, so a fully-degraded cluster still answers (a
-  zero-host cluster runs everything in-parent by construction).
+* **Health state machine, not a dead flag.**  Every host moves through
+  ``HEALTHY → SUSPECT → DEAD → RECOVERING → HEALTHY``
+  (:mod:`repro.cluster.membership`).  A transient transport failure —
+  connect refused, timeout, reset — makes the host SUSPECT and triggers
+  bounded exponential-backoff reconnects under a configurable
+  :class:`~repro.cluster.transport.RetryPolicy`; only when every attempt
+  fails is the host DEAD and its pending shards re-dispatched down the
+  key's rendezvous order (in-parent as the last resort).  A network blip
+  no longer costs a host forever.  A shard in flight on a SUSPECT host is
+  additionally **speculated**: after ``speculation_delay_s`` the head
+  duplicates it onto the next host in rendezvous order and takes whichever
+  result lands first — duplicate deliveries are suppressed at assembly.
+* **Live membership.**  ``add_host`` / ``remove_host`` change the fleet at
+  runtime (removal is drain-aware: in-flight shards finish before the
+  socket closes), and a background :class:`MembershipProbe` re-dials DEAD
+  hosts and readmits them through a cache warm-up ping — rendezvous
+  routing then naturally restores the readmitted host's affinity keys.
 * **Assembly, not shared memory.**  Shard results return as transport
   payloads and are reassembled by :mod:`repro.cluster.assembly` with
   overlap/completeness checks — there is no shared output buffer to
@@ -32,7 +42,8 @@ changes underneath:
 Bit-exactness carries over from the single-host scheduler: workers run the
 same whole-window shard reductions on a bit-identical translation, so the
 cluster result equals the single-process one-shot result exactly, for any
-shard size, any host count, and across mid-shard host deaths.
+shard size, any host count, and across mid-shard host deaths, reconnects
+and speculative duplicates.
 """
 
 from __future__ import annotations
@@ -42,15 +53,30 @@ import multiprocessing as mp
 import queue
 import socket
 import threading
-from concurrent.futures import Future
+import time
+from concurrent.futures import FIRST_COMPLETED, Future
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.cluster.assembly import SddmmAssembly, SpmmAssembly
-from repro.cluster.errors import HostDeadError, WorkerTaskError
+from repro.cluster.errors import HostDeadError, MembershipError, WorkerTaskError
+from repro.cluster.membership import (
+    ACCEPTING_STATES,
+    DEFAULT_PROBE_INTERVAL_S,
+    PREFERRED_STATES,
+    HostHealth,
+    MembershipProbe,
+)
 from repro.cluster.metrics import ClusterMetrics
-from repro.cluster.transport import TransportError, recv_message, send_message
+from repro.cluster.transport import (
+    FrameTooLargeError,
+    RetryPolicy,
+    TransportError,
+    recv_message,
+    send_message,
+)
 from repro.cluster.worker import run_worker
 from repro.formats.blocked import BlockedVectorFormat
 from repro.formats.csr import CSRMatrix
@@ -65,12 +91,17 @@ from repro.precision.types import Precision
 
 #: Idle gap after which a host client probes its host with a ping.
 DEFAULT_HEARTBEAT_INTERVAL_S = 0.5
-#: Pong wait before an idle host is declared dead.
+#: Pong wait before an idle host is suspected.
 DEFAULT_HEARTBEAT_TIMEOUT_S = 5.0
-#: Result wait per shard task before the host is declared dead (generous:
-#: an outright-killed host is detected immediately via the socket reset —
-#: this bound only catches a wedged-but-connected host).
+#: Result wait per shard task before the host is suspected (generous: an
+#: outright-killed host is detected immediately via the socket reset — this
+#: bound only catches a wedged-but-connected host).
 DEFAULT_TASK_TIMEOUT_S = 120.0
+#: In-flight wait on a SUSPECT host before the shard is speculatively
+#: duplicated onto the next host in rendezvous order.
+DEFAULT_SPECULATION_DELAY_S = 5.0
+#: Poll granularity while watching a slow host for a SUSPECT transition.
+_SPECULATION_POLL_S = 0.05
 #: Default shards per request, as a multiple of the host count: fine enough
 #: that a mid-request host death loses only a slice of the work.
 SHARDS_PER_HOST = 2
@@ -83,7 +114,8 @@ def rendezvous_rank(content_key: str, host_ids) -> list[str]:
     ranking is the descending score order.  Properties the cluster relies
     on: deterministic, uniform across hosts over many keys, and *minimally
     disruptive* — removing a host leaves the relative order of the
-    survivors unchanged, so only the dead host's keys move.
+    survivors unchanged, so only the dead host's keys move (and a
+    readmitted host gets exactly its old keys back).
     """
     scored = sorted(
         (
@@ -110,15 +142,27 @@ class _Task:
     future: Future = field(default_factory=Future)
 
 
+def _describe_task(header: dict) -> str:
+    """Post-mortem description of a task (what was on the wire at death)."""
+    key = str(header.get("content_key") or "")[:12]
+    return (
+        f"{header.get('op')} shard {header.get('task_id')} "
+        f"blocks [{header.get('lo')},{header.get('hi')}) of {key or '?'}"
+    )
+
+
 class _HostClient(threading.Thread):
     """Owns the connection to one worker host.
 
     One thread per host: it drains an inbox of shard tasks (send frame,
     wait for the reply frame), and pings the host when the inbox has been
-    idle for a heartbeat interval.  Any transport failure — connect, send,
-    recv, ping — declares the host dead: the flag flips, the in-flight
-    task and everything still queued fail with :class:`HostDeadError`, and
-    the submitting request re-routes them.
+    idle for a heartbeat interval.  A transport failure — connect, send,
+    recv, ping — no longer kills the host outright: the client turns
+    SUSPECT and re-dials under its :class:`RetryPolicy` (resending the
+    in-flight task on the fresh connection); only when every backoff
+    attempt fails does the host go DEAD — the in-flight task and
+    everything still queued then fail with :class:`HostDeadError` and the
+    submitting request re-routes them.
     """
 
     def __init__(
@@ -130,6 +174,10 @@ class _HostClient(threading.Thread):
         heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
         task_timeout_s: float = DEFAULT_TASK_TIMEOUT_S,
         connect_timeout_s: float = 10.0,
+        retry_policy: RetryPolicy | None = None,
+        fault_plan=None,
+        max_frame_bytes: int | None = None,
+        initial_state: HostHealth = HostHealth.HEALTHY,
     ):
         super().__init__(name=f"repro-cluster-{host_id}", daemon=True)
         self.host_id = host_id
@@ -139,23 +187,74 @@ class _HostClient(threading.Thread):
         self.heartbeat_timeout_s = heartbeat_timeout_s
         self.task_timeout_s = task_timeout_s
         self.connect_timeout_s = connect_timeout_s
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.fault_plan = fault_plan
+        self.max_frame_bytes = max_frame_bytes
         self._inbox: "queue.Queue[_Task | _Stop]" = queue.Queue()
         self._lock = threading.Lock()
-        self._sock: socket.socket | None = None
-        self.alive = False
+        self._sock = None
+        self.state = initial_state
+        self.draining = False
+        self._stopping = False
+        self._wake = threading.Event()  # interrupts backoff sleeps on stop()
+        self._in_flight = False
+        self._reconnect_epoch = 0  # keys the jitter stream per SUSPECT episode
+
+    # ------------------------------------------------------------- liveness
+    @property
+    def alive(self) -> bool:
+        """Whether the head still considers this host usable."""
+        return self.state is not HostHealth.DEAD
+
+    @property
+    def accepting(self) -> bool:
+        """Whether new shard submissions may be handed to this host."""
+        return (
+            not self._stopping
+            and not self.draining
+            and self.state in ACCEPTING_STATES
+        )
+
+    @property
+    def idle(self) -> bool:
+        """No queued and no in-flight task (the drain-complete signal)."""
+        return self._inbox.empty() and not self._in_flight
 
     # -------------------------------------------------------------- lifecycle
-    def connect(self) -> None:
-        """Establish the host connection (called before the thread starts)."""
+    def _dial(self):
+        """One connect attempt (optionally fault-injected / wrapped)."""
+        if self.fault_plan is not None:
+            self.fault_plan.check_connect(scope=self.host_id)
         sock = socket.create_connection(self.address, timeout=self.connect_timeout_s)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._sock = sock
-        self.alive = True
+        if self.fault_plan is not None:
+            sock = self.fault_plan.wrap(sock, scope=self.host_id)
+        return sock
+
+    def connect(self) -> None:
+        """Establish the host connection (called before the thread starts)."""
+        self._sock = self._dial()
+
+    def warmup(self) -> None:
+        """Cache warm-up ping gating readmission (RECOVERING → HEALTHY).
+
+        Verifies the host answers frames end to end and pulls its
+        translation-cache counters into the head's metrics before the host
+        takes traffic again.
+        """
+        self._sock.settimeout(self.heartbeat_timeout_s)
+        send_message(self._sock, {"type": "ping"})
+        header, _, _ = recv_message(self._sock, max_frame_bytes=self.max_frame_bytes)
+        if header.get("type") != "pong":
+            raise TransportError(f"unexpected warm-up reply {header.get('type')!r}")
+        self.metrics.record_heartbeat(self.host_id, ok=True, cache=header.get("cache"))
+        self._set_state(HostHealth.HEALTHY)
 
     def submit(self, task: _Task) -> bool:
-        """Enqueue a task; False when the host is already dead."""
+        """Enqueue a task; False when the host cannot take it (dead,
+        draining, or shutting down)."""
         with self._lock:
-            if not self.alive:
+            if not self.accepting:
                 return False
             self._inbox.put(task)
             return True
@@ -163,7 +262,9 @@ class _HostClient(threading.Thread):
     def stop(self) -> None:
         """Ask the client thread to shut its host down and exit."""
         with self._lock:
-            if self.alive:
+            self._stopping = True
+            self._wake.set()
+            if self.state is not HostHealth.DEAD and self.is_alive():
                 self._inbox.put(_Stop())
                 return
         self._close_socket()
@@ -171,17 +272,46 @@ class _HostClient(threading.Thread):
     def _close_socket(self) -> None:
         if self._sock is not None:
             try:
+                # shutdown(), not just close(): worker processes forked
+                # after this connection was dialled inherit a dup of its
+                # FD, and close() alone would leave the peer blocked in
+                # recv on a stream only the dup keeps alive.  shutdown()
+                # tears the TCP stream down regardless of dup FDs.
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
                 self._sock.close()
             except OSError:
                 pass
             self._sock = None
 
-    def _mark_dead(self, cause: BaseException | None) -> None:
-        """Flip to dead and fail everything queued (idempotent)."""
+    # ------------------------------------------------------- state machine
+    def _set_state(self, new: HostHealth) -> None:
         with self._lock:
-            if not self.alive:
+            old = self.state
+            if old is new:
                 return
-            self.alive = False
+            self.state = new
+        self.metrics.record_state_transition(self.host_id, old.value, new.value)
+
+    def _mark_dead(
+        self,
+        cause: BaseException | None,
+        in_flight: str | None = None,
+        record: bool = True,
+    ) -> None:
+        """Flip to DEAD and fail everything queued (idempotent).
+
+        ``record=False`` is the graceful-shutdown path: the state still
+        moves (the machine stays truthful) but no host death or failure
+        forensics are logged.
+        """
+        with self._lock:
+            if self.state is HostHealth.DEAD:
+                return
+            old = self.state
+            self.state = HostHealth.DEAD
             drained: list[_Task] = []
             while True:
                 try:
@@ -191,17 +321,49 @@ class _HostClient(threading.Thread):
                 if isinstance(item, _Task):
                     drained.append(item)
         self._close_socket()
-        self.metrics.record_host_death(self.host_id)
+        self.metrics.record_state_transition(self.host_id, old.value, "dead")
+        if record:
+            self.metrics.record_host_death(self.host_id, cause=cause, in_flight=in_flight)
         for task in drained:
             self.metrics.record_task_failure(self.host_id)
             task.future.set_exception(
-                HostDeadError(f"host {self.host_id} died before running the shard")
+                HostDeadError(
+                    f"host {self.host_id} died before running the shard: {cause}"
+                )
             )
+
+    def _recover_connection(self, cause: BaseException, in_flight: str | None = None) -> bool:
+        """Transient transport failure: SUSPECT → bounded backoff re-dial.
+
+        Returns True with a fresh connection up (state back to HEALTHY) —
+        the caller resends whatever was on the wire — or False after the
+        host went DEAD (RetryPolicy exhausted, or the client is stopping).
+        """
+        self._set_state(HostHealth.SUSPECT)
+        self._close_socket()
+        self._reconnect_epoch += 1
+        key = f"{self.host_id}#{self._reconnect_epoch}"
+        last: BaseException = cause
+        for delay in self.retry_policy.delays(key):
+            if self._wake.wait(delay) or self._stopping:
+                break
+            try:
+                sock = self._dial()
+            except OSError as exc:
+                self.metrics.record_reconnect_attempt(self.host_id, ok=False)
+                last = exc
+                continue
+            self._sock = sock
+            self.metrics.record_reconnect_attempt(self.host_id, ok=True)
+            self._set_state(HostHealth.HEALTHY)
+            return True
+        self._mark_dead(last, in_flight=in_flight, record=not self._stopping)
+        return False
 
     # -------------------------------------------------------------- mainloop
     def run(self) -> None:  # pragma: no branch - loop structure
         try:
-            while self.alive:
+            while not self._stopping and self.state is not HostHealth.DEAD:
                 try:
                     item = self._inbox.get(timeout=self.heartbeat_interval_s)
                 except queue.Empty:
@@ -218,47 +380,73 @@ class _HostClient(threading.Thread):
             raise
 
     def _run_task(self, task: _Task) -> None:
+        self._in_flight = True
+        recoveries = 0
         try:
-            self._sock.settimeout(self.task_timeout_s)
-            sent = send_message(self._sock, task.header, task.arrays)
-            self.metrics.record_task_sent(self.host_id, sent)
-            header, arrays, received = recv_message(self._sock)
-        except Exception as exc:
-            # Transport errors, timeouts, *and* anything a corrupt or
-            # hostile reply frame raises while being parsed: the stream is
-            # unusable either way, so the host is declared dead and the
-            # shard fails over — never a silently-dead client thread with
-            # the in-flight future unresolved.
-            self.metrics.record_task_failure(self.host_id)
-            task.future.set_exception(
-                HostDeadError(f"host {self.host_id} died mid-shard: {exc}")
-            )
-            self._mark_dead(exc)
-            return
-        if header.get("type") == "error":
-            # The *computation* failed on a live host: deterministic, so it
-            # is propagated rather than retried elsewhere.
-            self.metrics.record_task_failure(self.host_id)
-            task.future.set_exception(
-                WorkerTaskError(
-                    f"shard failed on host {self.host_id}: {header.get('message')}\n"
-                    f"{header.get('traceback', '')}"
+            while True:
+                try:
+                    self._sock.settimeout(self.task_timeout_s)
+                    sent = send_message(self._sock, task.header, task.arrays)
+                    self.metrics.record_task_sent(self.host_id, sent)
+                    header, arrays, received = recv_message(
+                        self._sock, max_frame_bytes=self.max_frame_bytes
+                    )
+                except Exception as exc:
+                    # Transport errors, timeouts, *and* anything a corrupt
+                    # or hostile reply frame raises while being parsed: the
+                    # stream is unusable either way.  The host turns
+                    # SUSPECT and the connection is re-dialled with backoff
+                    # — a blip costs one resend, not the host.
+                    if isinstance(exc, FrameTooLargeError):
+                        self.metrics.record_oversized_frame(self.host_id)
+                    recoveries += 1
+                    # Bounded reconnect-and-resend cycles *per task*: a
+                    # persistent failure (say, a result frame that always
+                    # exceeds max_frame_bytes) must not livelock the client
+                    # in an eternally-successful reconnect loop.
+                    in_budget = recoveries <= max(1, self.retry_policy.max_attempts)
+                    if in_budget and self._recover_connection(
+                        exc, in_flight=_describe_task(task.header)
+                    ):
+                        continue  # resend the task on the fresh connection
+                    if not in_budget:
+                        self._mark_dead(exc, in_flight=_describe_task(task.header))
+                    self.metrics.record_task_failure(self.host_id)
+                    task.future.set_exception(
+                        HostDeadError(f"host {self.host_id} died mid-shard: {exc}")
+                    )
+                    return
+                if header.get("type") == "error":
+                    # The *computation* failed on a live host: deterministic,
+                    # so it is propagated rather than retried elsewhere.
+                    self.metrics.record_task_failure(self.host_id)
+                    task.future.set_exception(
+                        WorkerTaskError(
+                            f"shard failed on host {self.host_id}: {header.get('message')}\n"
+                            f"{header.get('traceback', '')}"
+                        )
+                    )
+                    return
+                self.metrics.record_task_completed(
+                    self.host_id, received, header.get("cache")
                 )
-            )
-            return
-        self.metrics.record_task_completed(self.host_id, received, header.get("cache"))
-        task.future.set_result((header, arrays))
+                task.future.set_result((header, arrays))
+                return
+        finally:
+            self._in_flight = False
 
     def _heartbeat(self) -> None:
+        if self._sock is None:  # pragma: no cover - defensive
+            return
         try:
             self._sock.settimeout(self.heartbeat_timeout_s)
             send_message(self._sock, {"type": "ping"})
-            header, _, _ = recv_message(self._sock)
+            header, _, _ = recv_message(self._sock, max_frame_bytes=self.max_frame_bytes)
             if header.get("type") != "pong":
                 raise TransportError(f"unexpected heartbeat reply {header.get('type')!r}")
         except Exception as exc:  # transport failure or unparseable pong
             self.metrics.record_heartbeat(self.host_id, ok=False)
-            self._mark_dead(exc)
+            self._recover_connection(exc)
             return
         self.metrics.record_heartbeat(self.host_id, ok=True, cache=header.get("cache"))
 
@@ -269,9 +457,7 @@ class _HostClient(threading.Thread):
             recv_message(self._sock)  # the worker's "bye"
         except (TransportError, OSError):
             pass
-        with self._lock:
-            self.alive = False
-        self._close_socket()
+        self._mark_dead(None, record=False)
 
 
 @dataclass
@@ -283,23 +469,39 @@ class HostState:
     client: _HostClient
     #: The local subprocess backing the host (None for external addresses).
     process: "mp.process.BaseProcess | None" = None
+    #: Set once the host has been removed from the cluster (terminal).
+    removed: bool = False
+
+    @property
+    def state(self) -> HostHealth:
+        """Current health state (the readmission probe may swap the client
+        behind this, so always read through it)."""
+        return self.client.state
 
     @property
     def alive(self) -> bool:
         """Whether the head still considers this host usable."""
-        return self.client.alive
+        return not self.removed and self.client.alive
+
+    @property
+    def accepting(self) -> bool:
+        """Whether new shards may be routed here."""
+        return not self.removed and self.client.accepting
 
 
-def spawn_local_host(mp_context, host_id: str) -> tuple["mp.process.BaseProcess", tuple]:
+def spawn_local_host(
+    mp_context, host_id: str, **worker_kwargs
+) -> tuple["mp.process.BaseProcess", tuple]:
     """Start one loopback worker-host subprocess; returns (process, address).
 
     The worker binds a kernel-picked port and reports it through a pipe, so
-    any number of hosts start without port coordination.
+    any number of hosts start without port coordination.  Extra keyword
+    arguments are passed to :func:`repro.cluster.worker.run_worker`.
     """
     recv_conn, send_conn = mp_context.Pipe(duplex=False)
     process = mp_context.Process(
         target=run_worker,
-        kwargs={"host": "127.0.0.1", "port": 0, "ready": send_conn},
+        kwargs={"host": "127.0.0.1", "port": 0, "ready": send_conn, **worker_kwargs},
         name=f"repro-cluster-worker-{host_id}",
         daemon=True,
     )
@@ -330,6 +532,25 @@ class ClusterScheduler:
         ``fork`` where available).
     heartbeat_interval_s / heartbeat_timeout_s / task_timeout_s:
         Failure-detector knobs (see :class:`_HostClient`).
+    retry_policy:
+        :class:`~repro.cluster.transport.RetryPolicy` for transient
+        transport failures (default: 3 attempts, 50 ms base, 2 s cap).
+        ``RetryPolicy(max_attempts=0)`` restores fail-fast host death.
+    speculation_delay_s:
+        In-flight wait on a SUSPECT host before the shard is duplicated
+        onto the next host in rendezvous order (``None`` disables
+        speculation; duplicate results are suppressed at assembly).
+    probe_interval_s / auto_readmit:
+        Readmission probe cadence; ``auto_readmit=False`` disables the
+        probe thread entirely (DEAD hosts then stay dead until
+        ``add_host`` re-registers them).
+    fault_plan:
+        Optional :class:`repro.testing.faults.FaultPlan` wrapped around
+        every head-side connection (deterministic fault injection).
+    max_frame_bytes:
+        Per-connection bound on declared frame sizes, enforced on both
+        the head side and spawned loopback workers (see
+        :class:`~repro.cluster.transport.FrameTooLargeError`).
     """
 
     def __init__(
@@ -340,6 +561,12 @@ class ClusterScheduler:
         heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
         heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
         task_timeout_s: float = DEFAULT_TASK_TIMEOUT_S,
+        retry_policy: RetryPolicy | None = None,
+        speculation_delay_s: float | None = DEFAULT_SPECULATION_DELAY_S,
+        probe_interval_s: float = DEFAULT_PROBE_INTERVAL_S,
+        auto_readmit: bool = True,
+        fault_plan=None,
+        max_frame_bytes: int | None = None,
     ):
         if addresses is None and int(hosts) < 0:
             raise ValueError("hosts must be >= 0")
@@ -347,36 +574,63 @@ class ClusterScheduler:
         #: Test hook: seconds every dispatched task asks the worker to sleep
         #: before executing (widens the kill-mid-shard window).
         self.inject_task_delay_s = 0.0
+        self.speculation_delay_s = (
+            None if speculation_delay_s is None else float(speculation_delay_s)
+        )
+        self.max_frame_bytes = max_frame_bytes
         if start_method is None:
             start_method = "fork" if "fork" in mp.get_all_start_methods() else None
         self._mp_context = mp.get_context(start_method) if start_method else mp.get_context()
         self.hosts: list[HostState] = []
+        self._hosts_lock = threading.RLock()
+        self._next_host_index = 0
         self._closed = False
-        client_kwargs = {
+        self._client_kwargs = {
             "heartbeat_interval_s": heartbeat_interval_s,
             "heartbeat_timeout_s": heartbeat_timeout_s,
             "task_timeout_s": task_timeout_s,
+            "retry_policy": retry_policy if retry_policy is not None else RetryPolicy(),
+            "fault_plan": fault_plan,
+            "max_frame_bytes": max_frame_bytes,
         }
+        self.membership: MembershipProbe | None = None
         try:
             if addresses is not None:
-                for i, address in enumerate(addresses):
-                    self._register(f"host-{i}", tuple(address), None, client_kwargs)
+                for address in addresses:
+                    self._register(self._new_host_id(), tuple(address), None)
             else:
-                for i in range(int(hosts)):
-                    host_id = f"host-{i}"
-                    process, address = spawn_local_host(self._mp_context, host_id)
-                    self._register(host_id, address, process, client_kwargs)
+                worker_kwargs = (
+                    {} if max_frame_bytes is None else {"max_frame_bytes": max_frame_bytes}
+                )
+                for _ in range(int(hosts)):
+                    host_id = self._new_host_id()
+                    process, address = spawn_local_host(
+                        self._mp_context, host_id, **worker_kwargs
+                    )
+                    self._register(host_id, address, process)
+            if auto_readmit:
+                self.membership = MembershipProbe(self, interval_s=probe_interval_s)
+                self.membership.start()
         except Exception:
             self.close()
             raise
 
-    def _register(self, host_id, address, process, client_kwargs) -> None:
-        client = _HostClient(host_id, address, self.metrics, **client_kwargs)
+    def _new_host_id(self) -> str:
+        with self._hosts_lock:
+            while True:
+                host_id = f"host-{self._next_host_index}"
+                self._next_host_index += 1
+                if all(h.host_id != host_id for h in self.hosts):
+                    return host_id
+
+    def _register(self, host_id, address, process) -> HostState:
+        client = _HostClient(host_id, address, self.metrics, **self._client_kwargs)
         client.connect()
         client.start()
-        self.hosts.append(
-            HostState(host_id=host_id, address=address, client=client, process=process)
-        )
+        state = HostState(host_id=host_id, address=address, client=client, process=process)
+        with self._hosts_lock:
+            self.hosts.append(state)
+        return state
 
     # ------------------------------------------------------------- interface
     @property
@@ -385,17 +639,143 @@ class ClusterScheduler:
         the serving frontend reports this in result metadata."""
         return max(1, len(self.hosts))
 
+    def _hosts_view(self) -> list[HostState]:
+        with self._hosts_lock:
+            return list(self.hosts)
+
     def live_hosts(self) -> list[HostState]:
         """Hosts currently considered usable."""
-        return [h for h in self.hosts if h.alive]
+        return [h for h in self._hosts_view() if h.alive]
+
+    def dead_hosts(self) -> list[HostState]:
+        """Registered hosts currently DEAD (the readmission probe's input)."""
+        return [
+            h
+            for h in self._hosts_view()
+            if not h.removed and h.state is HostHealth.DEAD and not h.client._stopping
+        ]
 
     def affinity_host(self, content_key: str) -> HostState | None:
-        """The live host that rendezvous routing assigns ``content_key``."""
-        by_id = {h.host_id: h for h in self.hosts if h.alive}
-        for host_id in rendezvous_rank(content_key, list(by_id)):
-            return by_id[host_id]
+        """The host that rendezvous routing assigns ``content_key``.
+
+        Hosts in a preferred state (HEALTHY / RECOVERING) win; SUSPECT
+        hosts are used only when no preferred host exists for the key, so
+        routing does not flap on a sub-second blip but also does not pile
+        new work onto a host that is busy re-dialling.
+        """
+        candidates = {h.host_id: h for h in self._hosts_view() if h.accepting}
+        if not candidates:
+            return None
+        preferred = {
+            host_id: h
+            for host_id, h in candidates.items()
+            if h.state in PREFERRED_STATES
+        }
+        pool = preferred or candidates
+        for host_id in rendezvous_rank(content_key, list(pool)):
+            return pool[host_id]
+        return None  # pragma: no cover - pool is never empty here
+
+    def _speculation_target(self, content_key: str, exclude: str) -> HostState | None:
+        """Backup host for a speculative duplicate (never the suspect one)."""
+        pool = {
+            h.host_id: h
+            for h in self._hosts_view()
+            if h.host_id != exclude and h.accepting and h.state in PREFERRED_STATES
+        }
+        for host_id in rendezvous_rank(content_key, list(pool)):
+            return pool[host_id]
         return None
 
+    # ------------------------------------------------------------ membership
+    def add_host(self, address, host_id: str | None = None) -> HostState:
+        """Join an already-running worker host to the live cluster.
+
+        Rendezvous routing immediately includes the new host: the keys it
+        wins move over on their next request, everything else stays put.
+        """
+        if self._closed:
+            raise MembershipError("cannot add a host to a closed cluster")
+        with self._hosts_lock:
+            if host_id is None:
+                host_id = self._new_host_id()
+            elif any(h.host_id == host_id for h in self.hosts):
+                raise MembershipError(f"host id {host_id!r} is already registered")
+        state = self._register(host_id, tuple(address), None)
+        self.metrics.record_host_added(host_id)
+        return state
+
+    def remove_host(self, host_id: str, drain: bool = True, timeout_s: float = 30.0) -> None:
+        """Remove ``host_id`` from the cluster at runtime.
+
+        With ``drain=True`` (default) the host stops receiving new shards
+        immediately but its queued and in-flight shards finish before the
+        socket closes; ``drain=False`` cuts it off at once (in-flight
+        shards fail over like a host death, minus the death record).
+        """
+        with self._hosts_lock:
+            state = next(
+                (h for h in self.hosts if h.host_id == host_id and not h.removed), None
+            )
+            if state is None:
+                raise MembershipError(f"unknown host {host_id!r}")
+            state.client.draining = True  # affinity_host() skips it from now on
+        if drain:
+            deadline = time.monotonic() + timeout_s
+            while (
+                state.client.alive
+                and not state.client.idle
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+        state.client.stop()
+        state.client.join(timeout=10.0)
+        with self._hosts_lock:
+            state.removed = True
+            self.hosts = [h for h in self.hosts if h is not state]
+        self._reap_process(state)
+        self.metrics.record_host_removed(host_id)
+
+    def try_readmit(self, state: HostState) -> bool:
+        """Re-dial a DEAD host; readmit it behind a cache warm-up ping.
+
+        Called by the :class:`MembershipProbe` (or directly by tests).  On
+        success the host's client is replaced with a fresh connected one
+        and the host serves its affinity keys again — its translation
+        cache survived on the worker side, so repeat traffic hits warm.
+        """
+        if self._closed or state.removed or state.client.state is not HostHealth.DEAD:
+            return False
+        client = _HostClient(
+            state.host_id,
+            state.address,
+            self.metrics,
+            initial_state=HostHealth.RECOVERING,
+            **self._client_kwargs,
+        )
+        try:
+            client.connect()
+        except OSError:
+            self.metrics.record_probe_dial(state.host_id, ok=False)
+            return False
+        self.metrics.record_probe_dial(state.host_id, ok=True)
+        self.metrics.record_state_transition(state.host_id, "dead", "recovering")
+        try:
+            client.warmup()  # RECOVERING → HEALTHY, cache counters refreshed
+        except Exception:
+            client._close_socket()
+            self.metrics.record_state_transition(state.host_id, "recovering", "dead")
+            return False
+        with self._hosts_lock:
+            if self._closed or state.removed:
+                client.stop()
+                return False
+            client.start()
+            state.client = client
+        self.metrics.record_readmission(state.host_id)
+        return True
+
+    # -------------------------------------------------------------- snapshot
     def stats_snapshot(self) -> dict:
         """Lifetime counters (superset of the single-host scheduler's)."""
         snap = self.metrics.snapshot()
@@ -409,18 +789,25 @@ class ClusterScheduler:
         """Shut every host down (idempotent): graceful shutdown frame,
         bounded join, then terminate whatever is left."""
         self._closed = True
-        for state in self.hosts:
+        if self.membership is not None:
+            self.membership.stop()
+        hosts = self._hosts_view()
+        for state in hosts:
             state.client.stop()
-        for state in self.hosts:
+        for state in hosts:
             state.client.join(timeout=10.0)
-        for state in self.hosts:
-            if state.process is not None:
+        for state in hosts:
+            self._reap_process(state)
+
+    @staticmethod
+    def _reap_process(state: HostState) -> None:
+        if state.process is not None:
+            state.process.join(timeout=5.0)
+            if state.process.is_alive():
+                state.process.terminate()
                 state.process.join(timeout=5.0)
-                if state.process.is_alive():
-                    state.process.terminate()
-                    state.process.join(timeout=5.0)
-                    if state.process.is_alive():  # pragma: no cover - last resort
-                        state.process.kill()
+                if state.process.is_alive():  # pragma: no cover - last resort
+                    state.process.kill()
 
     def __enter__(self) -> "ClusterScheduler":
         return self
@@ -446,18 +833,19 @@ class ClusterScheduler:
         shards = max(2, SHARDS_PER_HOST * max(1, len(self.hosts)))
         return max(1, -(-num_blocks // shards))
 
-    def _dispatch(self, tasks: list[dict], content_key: str, inline_body) -> list:
+    def _dispatch(self, tasks: list[dict], content_key: str, inline_body) -> list[list]:
         """Run shard ``tasks``, failing over dead hosts; returns per-task
-        ``(header, arrays)`` payloads (inline results are synthesised by
-        ``inline_body``).
+        **lists** of ``(header, arrays)`` payloads — normally one, two when
+        a speculative duplicate also answered (assembly suppresses the
+        extra copy); inline results are synthesised by ``inline_body``.
 
-        Routing: all tasks go to the key's first live host in rendezvous
-        order; every re-dispatch moves the *unfinished* tasks to the next
-        live host.  When the rank is exhausted (or the cluster has no hosts)
-        the head runs the remainder in-parent.
+        Routing: all tasks go to the key's first preferred host in
+        rendezvous order; every re-dispatch moves the *unfinished* tasks to
+        the next live host.  When the rank is exhausted (or the cluster has
+        no hosts) the head runs the remainder in-parent.
         """
         self.metrics.record_request(len(tasks))
-        results: dict[int, tuple] = {}
+        results: dict[int, list] = {}
         pending = list(range(len(tasks)))
         first_attempt = True
         while pending:
@@ -475,16 +863,85 @@ class ClusterScheduler:
                 submitted.append((index, task))
             still_pending = pending[len(submitted) :]
             for index, task in submitted:
-                try:
-                    results[index] = task.future.result()
-                except HostDeadError:
+                payloads = self._collect(target, task, tasks[index], content_key)
+                if payloads:
+                    results[index] = payloads
+                else:
                     still_pending.append(index)
             pending = sorted(still_pending)
         if pending:
             self.metrics.record_inline_fallback(len(pending))
             for index in pending:
-                results[index] = inline_body(tasks[index])
+                results[index] = [inline_body(tasks[index])]
         return [results[i] for i in range(len(tasks))]
+
+    def _collect(
+        self, target: HostState, task: _Task, source: dict, content_key: str
+    ) -> list[tuple]:
+        """Await one shard's result, speculating if its host turns SUSPECT.
+
+        After ``speculation_delay_s`` with the primary still unresolved on
+        a SUSPECT host, the shard is duplicated once onto the next
+        preferred host in rendezvous order; whichever copy answers first
+        wins and *every* successful payload is returned (assembly
+        suppresses the duplicate).  Returns an empty list when every copy
+        failed with :class:`HostDeadError` (the caller re-dispatches) and
+        raises when the shard computation itself failed — that error is
+        deterministic, so retrying elsewhere would only reproduce it.
+        """
+        attempts: list[_Task] = [task]
+        speculated = False
+        spec_at = (
+            None
+            if self.speculation_delay_s is None
+            else time.monotonic() + self.speculation_delay_s
+        )
+        while True:
+            if any(t.future.done() and t.future.exception() is None for t in attempts):
+                break  # got a result; a still-racing duplicate resolves unread
+            open_futures = [t.future for t in attempts if not t.future.done()]
+            if not open_futures:
+                break  # every attempt failed
+            if speculated or spec_at is None:
+                futures_wait(open_futures, return_when=FIRST_COMPLETED)
+                continue
+            remaining = spec_at - time.monotonic()
+            if remaining > 0:
+                futures_wait(
+                    open_futures, timeout=remaining, return_when=FIRST_COMPLETED
+                )
+                continue
+            if target.client.state is HostHealth.SUSPECT:
+                backup = self._speculation_target(content_key, exclude=target.host_id)
+                if backup is not None:
+                    duplicate = _Task(header=source["header"], arrays=source["arrays"])
+                    if backup.client.submit(duplicate):
+                        attempts.append(duplicate)
+                        self.metrics.record_speculation(backup.host_id)
+                speculated = True  # one duplicate per shard, with or without a backup
+            else:
+                # Merely slow, not suspect: re-check shortly — the host may
+                # turn SUSPECT while this shard is still on the wire.
+                futures_wait(
+                    open_futures,
+                    timeout=_SPECULATION_POLL_S,
+                    return_when=FIRST_COMPLETED,
+                )
+        payloads: list[tuple] = []
+        fatal: BaseException | None = None
+        for attempt in attempts:
+            if not attempt.future.done():
+                continue
+            exc = attempt.future.exception()
+            if exc is None:
+                payloads.append(attempt.future.result())
+            elif not isinstance(exc, HostDeadError):
+                fatal = exc
+        if payloads:
+            return payloads
+        if fatal is not None:
+            raise fatal
+        return []
 
     def _task_header(self, op, fmt, csr, content_key, r, index, extra=None) -> dict:
         header = {
@@ -555,8 +1012,10 @@ class ClusterScheduler:
             return {"row0": r.w0 * fmt.vector_size}, [rows]
 
         assembly = SpmmAssembly(n_rows, n_dense, num_shards=len(ranges))
-        for i, (header, arrays) in enumerate(self._dispatch(tasks, content_key, inline)):
-            assembly.add(i, header["row0"], arrays[0])
+        for i, payloads in enumerate(self._dispatch(tasks, content_key, inline)):
+            for header, arrays in payloads:
+                assembly.add(i, header["row0"], arrays[0])
+        self.metrics.record_duplicates_suppressed(assembly.duplicates_suppressed)
         return assembly.result()
 
     # ----------------------------------------------------------------- SDDMM
@@ -629,6 +1088,8 @@ class ClusterScheduler:
             return {}, [np.asarray(idx, dtype=np.int64), vals]
 
         assembly = SddmmAssembly(out_shape, num_shards=len(ranges))
-        for i, (_, arrays) in enumerate(self._dispatch(tasks, content_key, inline)):
-            assembly.add(i, arrays[0], arrays[1])
+        for i, payloads in enumerate(self._dispatch(tasks, content_key, inline)):
+            for _, arrays in payloads:
+                assembly.add(i, arrays[0], arrays[1])
+        self.metrics.record_duplicates_suppressed(assembly.duplicates_suppressed)
         return assembly.result()

@@ -1,4 +1,4 @@
-"""Cluster observability: per-host task counters, failovers, transport bytes.
+"""Cluster observability: per-host health, task counters, failure forensics.
 
 The head records what the single-host scheduler's ``stats`` dict recorded
 (requests, shards) plus the distributed-only signals: which host ran which
@@ -10,15 +10,31 @@ every result and pong frame; the head keeps the latest per host, so the
 is observable without a side channel (the cache-affinity benchmark gate
 reads it from here).
 
+On top of the PR-5 counters, the fault-tolerance layer records the full
+health state machine per host (current state, state-transition counters,
+cumulative time in each state), the retry/backoff activity (reconnect
+attempts and successes, probe re-dials, readmissions), membership changes
+(hosts added/removed at runtime), speculative dispatch and
+duplicate-result suppression, oversized-frame rejections, and — so
+post-mortems don't require log archaeology — a **failure record** per host
+death: the exception that caused it, the wall-clock timestamp, and a
+description of the task that was in flight.  A bounded ``death_log`` keeps
+the most recent records cluster-wide.
+
 Everything is lock-guarded: host client threads record sends/results while
-request threads record failovers and observers snapshot.
+request threads record failovers, the probe thread records re-dials and
+observers snapshot.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 
 from repro.formats.cache import CacheStats
+
+#: Most recent host-death records kept in the cluster-wide post-mortem log.
+DEATH_LOG_CAPACITY = 32
 
 
 class ClusterMetrics:
@@ -40,8 +56,20 @@ class ClusterMetrics:
             "heartbeat_failures": 0,
             "bytes_sent": 0,
             "bytes_received": 0,
+            # Fault-tolerance layer (PR 6).
+            "state_transitions": 0,
+            "reconnect_attempts": 0,
+            "reconnects": 0,
+            "probe_dials": 0,
+            "hosts_readmitted": 0,
+            "hosts_added": 0,
+            "hosts_removed": 0,
+            "speculative_dispatches": 0,
+            "duplicate_results_suppressed": 0,
+            "frames_oversized": 0,
         }
         self._per_host: dict[str, dict] = {}
+        self._death_log: list[dict] = []
 
     # -------------------------------------------------------------- recorders
     def _host(self, host_id: str) -> dict:
@@ -52,6 +80,13 @@ class ClusterMetrics:
                 "tasks_completed": 0,
                 "alive": True,
                 "cache": None,
+                "state": "healthy",
+                "state_since": time.monotonic(),
+                "time_in_state": {},
+                "transitions": {},
+                "reconnect_attempts": 0,
+                "reconnects": 0,
+                "last_failure": None,
             }
             self._per_host[host_id] = entry
         return entry
@@ -87,11 +122,104 @@ class ClusterMetrics:
             self._counters["task_failures"] += 1
             self._host(host_id)
 
-    def record_host_death(self, host_id: str) -> None:
-        """``host_id`` was declared dead (connection error or heartbeat)."""
+    def record_state_transition(self, host_id: str, old: str, new: str) -> None:
+        """``host_id`` moved ``old → new`` in the health state machine."""
+        now = time.monotonic()
+        with self._lock:
+            entry = self._host(host_id)
+            in_state = entry["time_in_state"]
+            in_state[old] = in_state.get(old, 0.0) + max(0.0, now - entry["state_since"])
+            entry["state"] = new
+            entry["state_since"] = now
+            edge = f"{old}->{new}"
+            entry["transitions"][edge] = entry["transitions"].get(edge, 0) + 1
+            entry["alive"] = new != "dead"
+            self._counters["state_transitions"] += 1
+
+    def record_reconnect_attempt(self, host_id: str, ok: bool) -> None:
+        """One backoff re-dial of a SUSPECT host (and whether it connected)."""
+        with self._lock:
+            self._counters["reconnect_attempts"] += 1
+            entry = self._host(host_id)
+            entry["reconnect_attempts"] += 1
+            if ok:
+                self._counters["reconnects"] += 1
+                entry["reconnects"] += 1
+
+    def record_probe_dial(self, host_id: str, ok: bool) -> None:
+        """One membership-probe re-dial of a DEAD host."""
+        with self._lock:
+            self._counters["probe_dials"] += 1
+            self._host(host_id)
+
+    def record_readmission(self, host_id: str) -> None:
+        """A DEAD host came back: probe re-dial + warm-up ping succeeded."""
+        with self._lock:
+            self._counters["hosts_readmitted"] += 1
+            self._host(host_id)
+
+    def record_host_added(self, host_id: str) -> None:
+        """A host joined the running cluster via ``add_host``."""
+        with self._lock:
+            self._counters["hosts_added"] += 1
+            self._host(host_id)
+
+    def record_host_removed(self, host_id: str) -> None:
+        """A host left the running cluster via ``remove_host``."""
+        with self._lock:
+            self._counters["hosts_removed"] += 1
+            entry = self._per_host.get(host_id)
+            if entry is not None:
+                entry["alive"] = False
+                entry["state"] = "removed"
+
+    def record_speculation(self, host_id: str) -> None:
+        """One in-flight shard speculatively duplicated onto ``host_id``."""
+        with self._lock:
+            self._counters["speculative_dispatches"] += 1
+            self._host(host_id)
+
+    def record_duplicates_suppressed(self, count: int) -> None:
+        """``count`` duplicate shard results suppressed at assembly."""
+        if count <= 0:
+            return
+        with self._lock:
+            self._counters["duplicate_results_suppressed"] += int(count)
+
+    def record_oversized_frame(self, host_id: str | None = None) -> None:
+        """A peer declared a frame over the per-connection byte limit."""
+        with self._lock:
+            self._counters["frames_oversized"] += 1
+            if host_id is not None:
+                self._host(host_id)
+
+    def record_host_death(
+        self,
+        host_id: str,
+        cause: BaseException | str | None = None,
+        in_flight: str | None = None,
+    ) -> None:
+        """``host_id`` was declared DEAD.
+
+        ``cause`` is the exception (or description) behind the final failed
+        attempt and ``in_flight`` describes the task that was on the wire,
+        so a post-mortem reads the *why* straight out of
+        ``stats_snapshot()`` instead of log archaeology.
+        """
+        record = {
+            "host": host_id,
+            "cause": None if cause is None else str(cause) or repr(cause),
+            "cause_type": type(cause).__name__ if isinstance(cause, BaseException) else None,
+            "at_unix": time.time(),
+            "in_flight": in_flight,
+        }
         with self._lock:
             self._counters["host_deaths"] += 1
-            self._host(host_id)["alive"] = False
+            entry = self._host(host_id)
+            entry["alive"] = False
+            entry["last_failure"] = dict(record)
+            self._death_log.append(record)
+            del self._death_log[:-DEATH_LOG_CAPACITY]
 
     def record_failover(self, shards: int) -> None:
         """``shards`` in-flight shards re-dispatched after a host death."""
@@ -115,13 +243,33 @@ class ClusterMetrics:
 
     # -------------------------------------------------------------- snapshots
     def snapshot(self) -> dict:
-        """Consistent copy of every counter plus the per-host breakdown."""
+        """Consistent copy of every counter plus the per-host breakdown.
+
+        Each host entry's ``time_in_state`` includes the still-running
+        tally for its *current* state, so dashboards read real durations
+        without waiting for the next transition.
+        """
+        now = time.monotonic()
         with self._lock:
             snap = dict(self._counters)
-            snap["hosts"] = {
-                host_id: dict(entry, cache=dict(entry["cache"]) if entry["cache"] else None)
-                for host_id, entry in self._per_host.items()
-            }
+            hosts: dict[str, dict] = {}
+            for host_id, entry in self._per_host.items():
+                view = dict(entry)
+                view["cache"] = dict(entry["cache"]) if entry["cache"] else None
+                view["transitions"] = dict(entry["transitions"])
+                view["last_failure"] = (
+                    dict(entry["last_failure"]) if entry["last_failure"] else None
+                )
+                in_state = dict(entry["time_in_state"])
+                state = entry["state"]
+                in_state[state] = in_state.get(state, 0.0) + max(
+                    0.0, now - entry["state_since"]
+                )
+                view["time_in_state"] = in_state
+                view.pop("state_since", None)
+                hosts[host_id] = view
+            snap["hosts"] = hosts
+            snap["death_log"] = [dict(r) for r in self._death_log]
             return snap
 
     def remote_cache_stats(self) -> CacheStats:

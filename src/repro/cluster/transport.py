@@ -36,8 +36,10 @@ Message types (the ``type`` header field) used by the cluster:
 from __future__ import annotations
 
 import json
+import random
 import socket
 import struct
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -61,6 +63,53 @@ class TransportError(RuntimeError):
 
 class ConnectionClosedError(TransportError):
     """The peer closed the stream at a clean frame boundary."""
+
+
+class FrameTooLargeError(TransportError):
+    """A frame declared more bytes than this connection allows.
+
+    Raised *before* the oversized allocation happens, so one malformed (or
+    hostile) peer cannot balloon the receiver's memory up to the global
+    :data:`MAX_BUFFER_BYTES` bound.  The per-connection limit is the
+    ``max_frame_bytes`` argument of :func:`recv_message`.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for transient transport failures.
+
+    A host client consults this policy when a connection dies with a
+    *transient* error (connect refused, timeout, reset): it makes up to
+    ``max_attempts`` reconnect attempts, sleeping ``base_delay_s · 2ⁱ``
+    (capped at ``cap_delay_s``) before attempt ``i``, with a multiplicative
+    ``jitter`` so a fleet of heads does not re-dial in lockstep.  Only when
+    every attempt fails is the host declared DEAD and its work failed over.
+
+    ``seed`` makes the jitter sequence deterministic per ``delays(key)``
+    stream — the fault-injection tests rely on replayable schedules.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    cap_delay_s: float = 2.0
+    jitter: float = 0.1
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 0:
+            raise ValueError("max_attempts must be >= 0")
+        if self.base_delay_s < 0 or self.cap_delay_s < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter must be >= 0")
+
+    def delays(self, key: str = ""):
+        """Yield the backoff delay before each reconnect attempt."""
+        rng = random.Random(None if self.seed is None else f"{self.seed}|{key}")
+        for attempt in range(self.max_attempts):
+            delay = min(self.cap_delay_s, self.base_delay_s * (2.0**attempt))
+            if self.jitter > 0:
+                delay *= 1.0 + rng.uniform(0.0, self.jitter)
+            yield min(delay, self.cap_delay_s)
 
 
 def _recv_exact(sock: socket.socket, n: int, *, at_boundary: bool = False) -> bytearray:
@@ -110,6 +159,12 @@ def send_message(sock: socket.socket, header: dict, arrays=()) -> int:
         parts.append(memoryview(array).cast("B"))
     total = 0
     try:
+        # Frame-boundary hook for injectable socket wrappers (the
+        # fault-injection harness counts frames, not raw sendall calls, so
+        # its schedules stay deterministic under heartbeat noise).
+        notify = getattr(sock, "notify_frame_send", None)
+        if notify is not None:
+            notify(header)
         for part in parts:
             sock.sendall(part)
             total += len(part)
@@ -118,14 +173,25 @@ def send_message(sock: socket.socket, header: dict, arrays=()) -> int:
     return total
 
 
-def recv_message(sock: socket.socket) -> tuple[dict, list[np.ndarray], int]:
+def recv_message(
+    sock: socket.socket, max_frame_bytes: int | None = None
+) -> tuple[dict, list[np.ndarray], int]:
     """Receive one frame; returns ``(header, arrays, total_bytes)``.
 
     Blocks until a full frame arrives (honouring any ``sock.settimeout``,
     whose expiry surfaces as the standard ``socket.timeout``).  The
     returned arrays are writable (backed by the receive buffer, no extra
     copy).
+
+    ``max_frame_bytes`` bounds the *declared* total frame size for this
+    connection: a frame whose header or cumulative buffer declarations
+    exceed it raises :class:`FrameTooLargeError` before the allocation, so
+    a single malformed peer cannot balloon the receiver up to the global
+    :data:`MAX_BUFFER_BYTES` ceiling.
     """
+    notify = getattr(sock, "notify_frame_recv", None)
+    if notify is not None:
+        notify()
     prefix = _recv_exact(sock, _PREFIX.size, at_boundary=True)
     magic, version, n_bufs, header_len = _PREFIX.unpack(bytes(prefix))
     if magic != MAGIC:
@@ -135,6 +201,11 @@ def recv_message(sock: socket.socket) -> tuple[dict, list[np.ndarray], int]:
     if header_len > MAX_HEADER_BYTES:
         raise TransportError(f"header too large ({header_len} bytes)")
     total = _PREFIX.size + header_len
+    if max_frame_bytes is not None and total > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"frame header declares {header_len} bytes; the frame already "
+            f"exceeds this connection's max_frame_bytes={max_frame_bytes}"
+        )
     try:
         header = json.loads(bytes(_recv_exact(sock, header_len)).decode("utf-8"))
     except ValueError as exc:
@@ -145,10 +216,16 @@ def recv_message(sock: socket.socket) -> tuple[dict, list[np.ndarray], int]:
             f"frame declares {n_bufs} buffers but header describes {len(descriptors)}"
         )
     arrays: list[np.ndarray] = []
-    for desc in descriptors:
+    for i, desc in enumerate(descriptors):
         (nbytes,) = _BUF_LEN.unpack(bytes(_recv_exact(sock, _BUF_LEN.size)))
         if nbytes > MAX_BUFFER_BYTES:
             raise TransportError(f"buffer too large ({nbytes} bytes)")
+        if max_frame_bytes is not None and total + _BUF_LEN.size + nbytes > max_frame_bytes:
+            raise FrameTooLargeError(
+                f"buffer {i} declares {nbytes} bytes, bringing the frame to "
+                f"{total + _BUF_LEN.size + nbytes} bytes — over this "
+                f"connection's max_frame_bytes={max_frame_bytes}"
+            )
         dtype = np.dtype(desc["dtype"])
         shape = tuple(int(s) for s in desc["shape"])
         expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize

@@ -42,7 +42,12 @@ from dataclasses import asdict
 
 import numpy as np
 
-from repro.cluster.transport import TransportError, recv_message, send_message
+from repro.cluster.transport import (
+    FrameTooLargeError,
+    TransportError,
+    recv_message,
+    send_message,
+)
 from repro.formats.cache import (
     FORMAT_CACHE_MAXSIZE,
     TranslationCache,
@@ -60,13 +65,26 @@ _TRANSLATORS = {"mebcrs": cached_mebcrs, "sgt16": cached_sgt16}
 class WorkerHost:
     """State of one worker host: its translation cache and task counters."""
 
-    def __init__(self, cache_maxsize: int = FORMAT_CACHE_MAXSIZE):
+    def __init__(
+        self,
+        cache_maxsize: int = FORMAT_CACHE_MAXSIZE,
+        max_frame_bytes: int | None = None,
+    ):
         self.cache = TranslationCache(maxsize=cache_maxsize)
         self.tasks_done = 0
+        #: Per-connection bound on declared frame sizes (None = unbounded):
+        #: a hostile or corrupt frame cannot make the worker allocate
+        #: arbitrary memory before a single payload byte has arrived.
+        self.max_frame_bytes = max_frame_bytes
+        self.frames_oversized = 0
 
     # --------------------------------------------------------------- helpers
     def _status(self) -> dict:
-        return {"cache": asdict(self.cache.stats()), "tasks_done": self.tasks_done}
+        return {
+            "cache": asdict(self.cache.stats()),
+            "tasks_done": self.tasks_done,
+            "frames_oversized": self.frames_oversized,
+        }
 
     def _translate(self, header: dict, indptr, indices, data):
         csr = CSRMatrix(
@@ -142,7 +160,15 @@ class WorkerHost:
         """
         while True:
             try:
-                header, arrays, _ = recv_message(conn)
+                header, arrays, _ = recv_message(
+                    conn, max_frame_bytes=self.max_frame_bytes
+                )
+            except FrameTooLargeError:
+                # An over-limit declaration is counted, then treated like
+                # any other unusable stream: drop the connection (the limit
+                # was hit *before* allocating) and go back to accept.
+                self.frames_oversized += 1
+                return False
             except (TransportError, OSError):
                 return False  # head went away: back to accept
             kind = header.get("type")
@@ -185,15 +211,20 @@ def run_worker(
     port: int = 0,
     ready=None,
     cache_maxsize: int = FORMAT_CACHE_MAXSIZE,
+    max_frame_bytes: int | None = None,
+    socket_wrapper=None,
 ) -> None:
     """Bind, announce the bound address, and serve until told to shut down.
 
     ``ready`` receives the bound ``(host, port)`` — a ``multiprocessing``
     pipe connection (its ``send`` is used) or any callable.  ``port=0``
     lets the kernel pick a free port, which is how the head spawns loopback
-    hosts without port coordination.
+    hosts without port coordination.  ``max_frame_bytes`` bounds what any
+    single incoming frame may declare; ``socket_wrapper`` wraps each
+    accepted connection (the fault-injection hook — e.g.
+    ``lambda c: plan.wrap(c, scope="worker-0")``).
     """
-    state = WorkerHost(cache_maxsize=cache_maxsize)
+    state = WorkerHost(cache_maxsize=cache_maxsize, max_frame_bytes=max_frame_bytes)
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     try:
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -206,6 +237,8 @@ def run_worker(
             conn, _ = listener.accept()
             try:
                 conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                if socket_wrapper is not None:
+                    conn = socket_wrapper(conn)
                 if state.serve_connection(conn):
                     return
             finally:
@@ -230,12 +263,19 @@ def main(argv=None) -> None:  # pragma: no cover - thin CLI wrapper
         default=FORMAT_CACHE_MAXSIZE,
         help="translation-cache capacity (entries)",
     )
+    parser.add_argument(
+        "--max-frame-bytes",
+        type=int,
+        default=None,
+        help="reject frames declaring more than this many bytes (default: unbounded)",
+    )
     args = parser.parse_args(argv)
     run_worker(
         host=args.host,
         port=args.port,
         ready=lambda addr: print(f"worker host listening on {addr[0]}:{addr[1]}", flush=True),
         cache_maxsize=args.cache_size,
+        max_frame_bytes=args.max_frame_bytes,
     )
 
 

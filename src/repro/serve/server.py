@@ -456,6 +456,19 @@ class Server:
             healthy=self.healthy,
         )
 
+    @property
+    def cluster(self):
+        """The :class:`~repro.cluster.head.ClusterScheduler` behind a
+        ``backend="cluster"`` server — the live-membership surface
+        (``server.cluster.add_host(...)`` / ``server.cluster.remove_host(...)``).
+
+        Raises :class:`ValueError` on other backends, where no cluster
+        exists to administer.
+        """
+        if self.backend != "cluster":
+            raise ValueError('cluster administration requires backend="cluster"')
+        return self.scheduler
+
     def close(self, wait: bool = True, timeout: float | None = None) -> None:
         """Stop accepting requests and drain the queue.
 
@@ -788,8 +801,15 @@ class Server:
         # and an unguarded move_to_end/popitem interleaving corrupts it.
         # Planning itself is cheap and memoised, so holding the lock across
         # a miss is simpler than double-compute-and-race on the store.
+        hosts = self.hosts
+        if self.backend == "cluster":
+            # Membership is live (add_host / remove_host, readmissions), so
+            # plans follow the *current* host count — the count is part of
+            # the cache key, so a membership change simply plans afresh
+            # instead of serving a stale per-host split.
+            hosts = max(1, len(self.scheduler.hosts))
         with self._plans_lock:
-            key = (op, id(fmt), width)
+            key = (op, id(fmt), width, hosts)
             entry = self._plans.get(key)
             # The pinned fmt reference both prevents id-reuse aliasing (a
             # GC'd format's id recycled by a different matrix) and is
@@ -798,7 +818,7 @@ class Server:
                 self._plans.move_to_end(key)
                 return entry[1]
             planner = plan_spmm if op == "spmm" else plan_sddmm
-            kwargs = {"workers": self.requested_workers, "hosts": self.hosts}
+            kwargs = {"workers": self.requested_workers, "hosts": hosts}
             if self.backend == "cluster" and self.requested_workers is None:
                 # A worker host executes one shard at a time: plan per-host
                 # chunks for a single consumer, not a local thread pool.

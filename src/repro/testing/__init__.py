@@ -1,0 +1,12 @@
+"""Deterministic test harnesses for the distributed serving stack.
+
+Currently one tool lives here: :mod:`repro.testing.faults`, the seeded
+fault-injection harness that drives every cluster recovery path —
+connection drops, send delays, truncated and corrupted frames, connect
+refusals, scheduled host kills — from an ordinary test instead of OS
+signals and sleeps.
+"""
+
+from repro.testing.faults import FaultEvent, FaultPlan, FaultSocket
+
+__all__ = ["FaultEvent", "FaultPlan", "FaultSocket"]
