@@ -48,7 +48,7 @@ from repro.datasets.generators import power_law_matrix
 from repro.formats.mebcrs import MEBCRSMatrix
 from repro.precision.types import Precision, quantize
 from repro.serve.scheduler import ShardScheduler
-from repro.testing import FaultPlan
+from repro.testing import FaultPlan, loopback_tls_files, tls_available
 
 HOSTS = 3
 HOST_IDS = [f"host-{i}" for i in range(HOSTS)]
@@ -62,6 +62,10 @@ ARRIVAL_S = 0.05
 #: Request step at which the plan's kill_host action is applied.
 KILL_STEP = REQUESTS // 3
 CHAOS_SEED = 13
+#: Open-loop request count for the trusted-plane (corruption) phase.
+TRUSTED_REQUESTS = 16
+#: Shared secret for the trusted-plane phase's handshakes.
+TRUSTED_TOKEN = "chaos-bench-token"
 #: Tail gate: open-loop p99 under chaos (includes backoff-paced failover).
 P99_BOUND_S = 10.0
 #: Everything must settle (requests + readmission) within this budget.
@@ -108,10 +112,12 @@ def _victims(matrices) -> tuple[str, str]:
     return readmit, kill
 
 
-def _drive(sched: ClusterScheduler, plan: FaultPlan, matrices, b_q) -> dict:
+def _drive(
+    sched: ClusterScheduler, plan: FaultPlan, matrices, b_q, requests: int = REQUESTS
+) -> dict:
     """Open loop: one request per ARRIVAL_S tick; the driver applies the
     plan's scheduled kill_host actions at their request steps."""
-    latencies = [None] * REQUESTS
+    latencies = [None] * requests
     failures: list[str] = []
     mismatches = 0
     lock = threading.Lock()
@@ -142,7 +148,7 @@ def _drive(sched: ClusterScheduler, plan: FaultPlan, matrices, b_q) -> dict:
 
     threads = []
     t0 = time.perf_counter()
-    for i in range(REQUESTS):
+    for i in range(requests):
         for kind, host in plan.actions_at(i):
             if kind == "kill_host":
                 state = next(h for h in sched.hosts if h.host_id == host)
@@ -166,7 +172,7 @@ def _drive(sched: ClusterScheduler, plan: FaultPlan, matrices, b_q) -> dict:
         return done[min(len(done) - 1, int(p * len(done)))] if done else float("nan")
 
     return {
-        "requests": REQUESTS,
+        "requests": requests,
         "completed": len(done),
         "failed": len(failures),
         "failures": failures[:8],
@@ -236,13 +242,60 @@ def run_cluster_chaos() -> dict:
             "host_states": {h: e["state"] for h, e in snap["hosts"].items()},
         },
     }
+    report["trusted"] = run_trusted_chaos()
     RESULTS_JSON.parent.mkdir(parents=True, exist_ok=True)
     RESULTS_JSON.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     return report
 
 
+def run_trusted_chaos() -> dict:
+    """Phase 2 — the trusted data plane under seeded payload corruption.
+
+    A fresh authenticated (and, when the local toolchain can mint a
+    loopback certificate, TLS-wrapped) cluster serves the same open-loop
+    mix while seeded ``corrupt_payload`` faults flip bits in both
+    directions: a head-side task frame (caught by the worker's CRC check)
+    and each worker's first result frame (caught by the head's).  The
+    gates: every response bit-identical to the oracle, zero failed
+    requests, and ``integrity_failures >= 1`` — corruption costs a retry,
+    never numerics and never an error.
+    """
+    matrices, b_q = _workload()
+    head_plan = FaultPlan(seed=CHAOS_SEED + 1).corrupt_payload(nth=2, type="task")
+    worker_plan = FaultPlan(seed=CHAOS_SEED + 2).corrupt_payload(nth=1, type="result")
+    tls = tls_available()
+    tls_kwargs = {}
+    if tls:
+        cert, key = loopback_tls_files()
+        tls_kwargs = {"tls_cert": cert, "tls_key": key}
+    with ClusterScheduler(
+        hosts=HOSTS,
+        fault_plan=head_plan,
+        worker_fault_plan=worker_plan,
+        auth_token=TRUSTED_TOKEN,
+        retry_policy=RetryPolicy(base_delay_s=0.02, seed=CHAOS_SEED),
+        probe_interval_s=0.2,
+        **tls_kwargs,
+    ) as sched:
+        drive = _drive(sched, head_plan, matrices, b_q, requests=TRUSTED_REQUESTS)
+        snap = sched.stats_snapshot()
+    return {
+        "config": {"hosts": HOSTS, "requests": TRUSTED_REQUESTS, "tls": tls},
+        "drive": drive,
+        "fired": head_plan.fired_kinds(),
+        "security": {
+            "integrity_failures": snap["integrity_failures"],
+            "auth_rejects": snap["auth_rejects"],
+            "handshake_failures": snap["handshake_failures"],
+            "reconnects": snap["reconnects"],
+            "task_failures": snap["task_failures"],
+        },
+    }
+
+
 def _emit(report: dict) -> None:
     drive, cluster = report["drive"], report["cluster"]
+    trusted = report["trusted"]
     rows = [
         ["completed / requests", f"{drive['completed']}/{drive['requests']}"],
         ["failed requests", str(drive["failed"])],
@@ -252,6 +305,11 @@ def _emit(report: dict) -> None:
         ["hosts readmitted", str(cluster["hosts_readmitted"])],
         ["final host states", " ".join(f"{h}={s}" for h, s in cluster["host_states"].items())],
         ["faults fired", " ".join(report["fired"]) or "-"],
+        [
+            "trusted phase (auth%s)" % ("+TLS" if trusted["config"]["tls"] else ""),
+            f"{trusted['drive']['completed']}/{trusted['drive']['requests']} ok, "
+            f"{trusted['security']['integrity_failures']} integrity failures caught",
+        ],
     ]
     try:
         from bench_common import emit_table
@@ -297,6 +355,23 @@ def _check(report: dict) -> None:
         f"open-loop p99 {p99_s:.2f}s exceeds {P99_BOUND_S}s under chaos — "
         "recovery is stalling the request path"
     )
+    # Trusted-plane gates: corruption is caught and costs a retry, never
+    # numerics and never an error.
+    trusted = report["trusted"]
+    tdrive, security = trusted["drive"], trusted["security"]
+    assert tdrive["failed"] == 0, (
+        f"trusted phase surfaced {tdrive['failed']} failed requests: "
+        f"{tdrive['failures']}"
+    )
+    assert tdrive["completed"] == tdrive["requests"]
+    assert tdrive["mismatches"] == 0, (
+        f"{tdrive['mismatches']} trusted-phase responses diverged from the oracle"
+    )
+    assert security["integrity_failures"] >= 1, (
+        "no corrupted frame was ever detected — the seeded corrupt_payload "
+        f"faults never fired (fired: {trusted['fired']})"
+    )
+    assert security["task_failures"] == 0
 
 
 try:  # the `benchmark` fixture only exists with the plugin installed

@@ -13,8 +13,13 @@ failures are retried with bounded exponential backoff
 (:class:`~repro.cluster.transport.RetryPolicy`), dead hosts' shards are
 re-dispatched to survivors (in-parent as the last resort) and later
 readmitted by a background probe, and the fleet itself is mutable at
-runtime (``add_host`` / ``remove_host``).  Routing is by matrix content
-key under rendezvous
+runtime (``add_host`` / ``remove_host``).  The wire itself is trusted:
+connections clear an authenticated HELLO/CHALLENGE handshake (optionally
+under TLS) before any frame flows, and every payload buffer carries a
+CRC32 verified on receipt — corruption surfaces as
+:class:`~repro.cluster.transport.FrameIntegrityError` and is recovered
+through the same retry machinery, never silently computed on.  Routing is
+by matrix content key under rendezvous
 hashing, so every host's own translation cache serves repeat requests
 for "its" matrices — the multi-host analogue of the serving frontend's
 content-keyed translation dedup.
@@ -46,22 +51,33 @@ from repro.cluster.head import ClusterScheduler, HostState, rendezvous_rank
 from repro.cluster.membership import HostHealth, MembershipProbe
 from repro.cluster.metrics import ClusterMetrics
 from repro.cluster.transport import (
+    AuthenticationError,
     ConnectionClosedError,
+    FrameIntegrityError,
     FrameTooLargeError,
+    HandshakeError,
     RetryPolicy,
     TransportError,
+    VersionMismatchError,
+    client_handshake,
+    make_client_ssl_context,
+    make_server_ssl_context,
     recv_message,
     send_message,
+    server_handshake,
 )
 from repro.cluster.worker import WorkerHost, run_worker
 
 __all__ = [
     "AssemblyError",
+    "AuthenticationError",
     "ClusterError",
     "ClusterMetrics",
     "ClusterScheduler",
     "ConnectionClosedError",
+    "FrameIntegrityError",
     "FrameTooLargeError",
+    "HandshakeError",
     "HostDeadError",
     "HostHealth",
     "HostState",
@@ -71,10 +87,15 @@ __all__ = [
     "SddmmAssembly",
     "SpmmAssembly",
     "TransportError",
+    "VersionMismatchError",
     "WorkerHost",
     "WorkerTaskError",
+    "client_handshake",
+    "make_client_ssl_context",
+    "make_server_ssl_context",
     "recv_message",
     "rendezvous_rank",
     "run_worker",
     "send_message",
+    "server_handshake",
 ]

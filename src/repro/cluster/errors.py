@@ -9,10 +9,29 @@ bug (shard results that do not reassemble into a complete output).
 Everything derives from :class:`ClusterError`, which derives from the
 serving layer's :class:`~repro.serve.errors.ServeError` so cluster-backed
 servers keep the one failure taxonomy clients already dispatch on.
+
+The *wire-level* failures live in :mod:`repro.cluster.transport` and are
+re-exported here for one-stop imports: :class:`TransportError` (and its
+``ConnectionClosedError`` / ``FrameTooLargeError`` refinements), plus the
+trusted-data-plane taxonomy — :class:`FrameIntegrityError` (a payload
+failed its CRC32), :class:`HandshakeError` and its
+:class:`AuthenticationError` / :class:`VersionMismatchError` refinements.
+These deliberately do **not** derive from :class:`ClusterError`: they are
+peer-to-peer stream conditions the head converts into recovery actions
+(retry, SUSPECT, failover) rather than failures a serving client sees.
 """
 
 from __future__ import annotations
 
+from repro.cluster.transport import (  # noqa: F401 - re-exported taxonomy
+    AuthenticationError,
+    ConnectionClosedError,
+    FrameIntegrityError,
+    FrameTooLargeError,
+    HandshakeError,
+    TransportError,
+    VersionMismatchError,
+)
 from repro.serve.errors import ServeError
 
 

@@ -34,6 +34,14 @@ changes underneath:
   socket closes), and a background :class:`MembershipProbe` re-dials DEAD
   hosts and readmits them through a cache warm-up ping — rendezvous
   routing then naturally restores the readmitted host's affinity keys.
+* **Trusted data plane.**  Every dial — first connect, backoff re-dial,
+  membership probe — clears the authenticated handshake (and TLS, when
+  configured) before any frame flows, and every inbound payload buffer is
+  CRC-verified by the transport.  A corrupted shard result surfaces as
+  :class:`~repro.cluster.transport.FrameIntegrityError` and is handled
+  exactly like a transport failure: the connection recycles, the shard
+  re-sends, and the request completes bit-identically — corruption costs
+  a retry, never wrong numerics.
 * **Assembly, not shared memory.**  Shard results return as transport
   payloads and are reassembled by :mod:`repro.cluster.assembly` with
   overlap/completeness checks — there is no shared output buffer to
@@ -71,9 +79,14 @@ from repro.cluster.membership import (
 )
 from repro.cluster.metrics import ClusterMetrics
 from repro.cluster.transport import (
+    AuthenticationError,
+    FrameIntegrityError,
     FrameTooLargeError,
+    HandshakeError,
     RetryPolicy,
     TransportError,
+    client_handshake,
+    make_client_ssl_context,
     recv_message,
     send_message,
 )
@@ -177,6 +190,8 @@ class _HostClient(threading.Thread):
         retry_policy: RetryPolicy | None = None,
         fault_plan=None,
         max_frame_bytes: int | None = None,
+        auth_token: str | None = None,
+        ssl_context=None,
         initial_state: HostHealth = HostHealth.HEALTHY,
     ):
         super().__init__(name=f"repro-cluster-{host_id}", daemon=True)
@@ -190,6 +205,8 @@ class _HostClient(threading.Thread):
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.fault_plan = fault_plan
         self.max_frame_bytes = max_frame_bytes
+        self.auth_token = auth_token
+        self.ssl_context = ssl_context
         self._inbox: "queue.Queue[_Task | _Stop]" = queue.Queue()
         self._lock = threading.Lock()
         self._sock = None
@@ -222,13 +239,35 @@ class _HostClient(threading.Thread):
 
     # -------------------------------------------------------------- lifecycle
     def _dial(self):
-        """One connect attempt (optionally fault-injected / wrapped)."""
+        """One connect attempt: TCP → TLS → fault wrapper → handshake.
+
+        The fault wrapper sits *above* TLS so injected faults hit the
+        plaintext frame stream exactly as they would a clear socket.  The
+        connection is only returned once the handshake cleared; a reject
+        is recorded (``auth_rejects`` / ``handshake_failures``) and
+        re-raised — to the retry machinery it is one more failed dial.
+        """
         if self.fault_plan is not None:
             self.fault_plan.check_connect(scope=self.host_id)
         sock = socket.create_connection(self.address, timeout=self.connect_timeout_s)
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        if self.fault_plan is not None:
-            sock = self.fault_plan.wrap(sock, scope=self.host_id)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            if self.ssl_context is not None:
+                sock = self.ssl_context.wrap_socket(sock)
+            if self.fault_plan is not None:
+                sock = self.fault_plan.wrap(sock, scope=self.host_id)
+            sent, received = client_handshake(sock, auth_token=self.auth_token)
+        except BaseException as exc:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            if isinstance(exc, HandshakeError):
+                self.metrics.record_handshake_failure(
+                    self.host_id, auth=isinstance(exc, AuthenticationError)
+                )
+            raise
+        self.metrics.record_transport_bytes(self.host_id, sent=sent, received=received)
         return sock
 
     def connect(self) -> None:
@@ -243,11 +282,19 @@ class _HostClient(threading.Thread):
         takes traffic again.
         """
         self._sock.settimeout(self.heartbeat_timeout_s)
-        send_message(self._sock, {"type": "ping"})
-        header, _, _ = recv_message(self._sock, max_frame_bytes=self.max_frame_bytes)
+        sent = send_message(self._sock, {"type": "ping"})
+        header, _, received = recv_message(
+            self._sock, max_frame_bytes=self.max_frame_bytes
+        )
+        self.metrics.record_transport_bytes(self.host_id, sent=sent, received=received)
         if header.get("type") != "pong":
             raise TransportError(f"unexpected warm-up reply {header.get('type')!r}")
-        self.metrics.record_heartbeat(self.host_id, ok=True, cache=header.get("cache"))
+        self.metrics.record_heartbeat(
+            self.host_id,
+            ok=True,
+            cache=header.get("cache"),
+            security=header.get("security"),
+        )
         self._set_state(HostHealth.HEALTHY)
 
     def submit(self, task: _Task) -> bool:
@@ -349,7 +396,10 @@ class _HostClient(threading.Thread):
                 break
             try:
                 sock = self._dial()
-            except OSError as exc:
+            except (OSError, TransportError) as exc:
+                # OSError covers refused/reset dials; TransportError covers
+                # a failed handshake (auth reject, version mismatch) — the
+                # dial already recorded which.  Either way: one attempt.
                 self.metrics.record_reconnect_attempt(self.host_id, ok=False)
                 last = exc
                 continue
@@ -399,6 +449,16 @@ class _HostClient(threading.Thread):
                     # — a blip costs one resend, not the host.
                     if isinstance(exc, FrameTooLargeError):
                         self.metrics.record_oversized_frame(self.host_id)
+                    elif isinstance(exc, FrameIntegrityError):
+                        # A shard result failed its payload CRC32: the
+                        # corruption is detected *here*, before assembly —
+                        # the retry below re-runs the shard, so the request
+                        # still completes bit-identically.
+                        self.metrics.record_integrity_failure(self.host_id)
+                    # Bytes of the rejected frame still crossed the socket.
+                    self.metrics.record_transport_bytes(
+                        self.host_id, received=getattr(exc, "bytes_read", 0)
+                    )
                     recoveries += 1
                     # Bounded reconnect-and-resend cycles *per task*: a
                     # persistent failure (say, a result frame that always
@@ -428,7 +488,10 @@ class _HostClient(threading.Thread):
                     )
                     return
                 self.metrics.record_task_completed(
-                    self.host_id, received, header.get("cache")
+                    self.host_id,
+                    received,
+                    header.get("cache"),
+                    security=header.get("security"),
                 )
                 task.future.set_result((header, arrays))
                 return
@@ -440,15 +503,29 @@ class _HostClient(threading.Thread):
             return
         try:
             self._sock.settimeout(self.heartbeat_timeout_s)
-            send_message(self._sock, {"type": "ping"})
-            header, _, _ = recv_message(self._sock, max_frame_bytes=self.max_frame_bytes)
+            sent = send_message(self._sock, {"type": "ping"})
+            self.metrics.record_transport_bytes(self.host_id, sent=sent)
+            header, _, received = recv_message(
+                self._sock, max_frame_bytes=self.max_frame_bytes
+            )
+            self.metrics.record_transport_bytes(self.host_id, received=received)
             if header.get("type") != "pong":
                 raise TransportError(f"unexpected heartbeat reply {header.get('type')!r}")
         except Exception as exc:  # transport failure or unparseable pong
+            if isinstance(exc, FrameIntegrityError):
+                self.metrics.record_integrity_failure(self.host_id)
+            self.metrics.record_transport_bytes(
+                self.host_id, received=getattr(exc, "bytes_read", 0)
+            )
             self.metrics.record_heartbeat(self.host_id, ok=False)
             self._recover_connection(exc)
             return
-        self.metrics.record_heartbeat(self.host_id, ok=True, cache=header.get("cache"))
+        self.metrics.record_heartbeat(
+            self.host_id,
+            ok=True,
+            cache=header.get("cache"),
+            security=header.get("security"),
+        )
 
     def _shutdown_host(self) -> None:
         try:
@@ -547,10 +624,29 @@ class ClusterScheduler:
     fault_plan:
         Optional :class:`repro.testing.faults.FaultPlan` wrapped around
         every head-side connection (deterministic fault injection).
+    worker_fault_plan:
+        Optional :class:`~repro.testing.faults.FaultPlan` installed on the
+        *worker* side of every spawned loopback host (scoped by host id) —
+        the hook that lets tests corrupt result frames where they are
+        written.  Requires the ``fork`` start method (the default).
     max_frame_bytes:
         Per-connection bound on declared frame sizes, enforced on both
         the head side and spawned loopback workers (see
         :class:`~repro.cluster.transport.FrameTooLargeError`).
+    auth_token:
+        Shared secret for the connection handshake: every head-side dial
+        (task connections, heartbeat re-dials, membership probes — they
+        all go through the same dial path) proves possession via an
+        HMAC-SHA256 over the worker's challenge nonce.  Spawned loopback
+        workers are configured with the same token; external workers must
+        be started with ``--auth-token`` (or ``$REPRO_CLUSTER_AUTH_TOKEN``).
+    tls_cert / tls_key / tls_ca:
+        Enable TLS on every host connection.  The head verifies the
+        worker certificate against ``tls_ca`` (or, for a self-signed
+        deployment, ``tls_cert`` itself); when ``tls_ca`` is given the
+        head also presents ``tls_cert``/``tls_key`` as its client
+        certificate (mutual TLS).  Spawned loopback workers serve with
+        the same certificate.
     """
 
     def __init__(
@@ -566,7 +662,12 @@ class ClusterScheduler:
         probe_interval_s: float = DEFAULT_PROBE_INTERVAL_S,
         auto_readmit: bool = True,
         fault_plan=None,
+        worker_fault_plan=None,
         max_frame_bytes: int | None = None,
+        auth_token: str | None = None,
+        tls_cert: str | None = None,
+        tls_key: str | None = None,
+        tls_ca: str | None = None,
     ):
         if addresses is None and int(hosts) < 0:
             raise ValueError("hosts must be >= 0")
@@ -578,6 +679,14 @@ class ClusterScheduler:
             None if speculation_delay_s is None else float(speculation_delay_s)
         )
         self.max_frame_bytes = max_frame_bytes
+        self.auth_token = auth_token
+        ssl_context = None
+        if tls_cert is not None or tls_ca is not None:
+            ssl_context = make_client_ssl_context(
+                tls_ca if tls_ca is not None else tls_cert,
+                certfile=tls_cert if tls_ca is not None else None,
+                keyfile=tls_key if tls_ca is not None else None,
+            )
         if start_method is None:
             start_method = "fork" if "fork" in mp.get_all_start_methods() else None
         self._mp_context = mp.get_context(start_method) if start_method else mp.get_context()
@@ -592,6 +701,8 @@ class ClusterScheduler:
             "retry_policy": retry_policy if retry_policy is not None else RetryPolicy(),
             "fault_plan": fault_plan,
             "max_frame_bytes": max_frame_bytes,
+            "auth_token": auth_token,
+            "ssl_context": ssl_context,
         }
         self.membership: MembershipProbe | None = None
         try:
@@ -599,13 +710,24 @@ class ClusterScheduler:
                 for address in addresses:
                     self._register(self._new_host_id(), tuple(address), None)
             else:
-                worker_kwargs = (
-                    {} if max_frame_bytes is None else {"max_frame_bytes": max_frame_bytes}
-                )
+                worker_kwargs: dict = {}
+                if max_frame_bytes is not None:
+                    worker_kwargs["max_frame_bytes"] = max_frame_bytes
+                if auth_token is not None:
+                    worker_kwargs["auth_token"] = auth_token
+                if tls_cert is not None:
+                    worker_kwargs["tls_cert"] = tls_cert
+                    worker_kwargs["tls_key"] = tls_key
+                    worker_kwargs["tls_ca"] = tls_ca
                 for _ in range(int(hosts)):
                     host_id = self._new_host_id()
+                    kwargs = dict(worker_kwargs)
+                    if worker_fault_plan is not None:
+                        kwargs["socket_wrapper"] = worker_fault_plan.socket_wrapper(
+                            scope=host_id
+                        )
                     process, address = spawn_local_host(
-                        self._mp_context, host_id, **worker_kwargs
+                        self._mp_context, host_id, **kwargs
                     )
                     self._register(host_id, address, process)
             if auto_readmit:
@@ -755,7 +877,9 @@ class ClusterScheduler:
         )
         try:
             client.connect()
-        except OSError:
+        except (OSError, TransportError):
+            # The probe's re-dial authenticates like any other connection;
+            # a host answering with the wrong token stays DEAD.
             self.metrics.record_probe_dial(state.host_id, ok=False)
             return False
         self.metrics.record_probe_dial(state.host_id, ok=True)

@@ -27,6 +27,12 @@ event.  Every worker host moves through a small state machine::
   readmitted as HEALTHY; rendezvous routing then naturally restores its
   affinity keys.
 
+Probe re-dials go through the same dial path as every other connection,
+so they clear TLS and the authenticated HELLO/CHALLENGE handshake too: a
+host that stops presenting the shared token (or a rogue process squatting
+on a dead host's port) cannot be readmitted — the failed handshake is
+recorded and the host stays DEAD.
+
 The :class:`MembershipProbe` is the background thread behind the DEAD →
 RECOVERING edge: it periodically re-dials DEAD hosts through
 :meth:`ClusterScheduler.try_readmit`.  Runtime membership changes —

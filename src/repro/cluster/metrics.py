@@ -67,6 +67,13 @@ class ClusterMetrics:
             "speculative_dispatches": 0,
             "duplicate_results_suppressed": 0,
             "frames_oversized": 0,
+            # Trusted data plane (PR 7).  The three security counters here
+            # hold what the *head* detected; ``snapshot()`` adds the
+            # worker-reported tallies (which travel in result/pong frames)
+            # on top, so the snapshot totals cover both ends of the wire.
+            "integrity_failures": 0,
+            "auth_rejects": 0,
+            "handshake_failures": 0,
         }
         self._per_host: dict[str, dict] = {}
         self._death_log: list[dict] = []
@@ -87,6 +94,11 @@ class ClusterMetrics:
                 "reconnect_attempts": 0,
                 "reconnects": 0,
                 "last_failure": None,
+                "integrity_failures": 0,
+                "auth_rejects": 0,
+                "handshake_failures": 0,
+                #: Latest worker-side security counters (from status frames).
+                "remote_security": None,
             }
             self._per_host[host_id] = entry
         return entry
@@ -104,9 +116,16 @@ class ClusterMetrics:
             self._counters["bytes_sent"] += int(nbytes)
             self._host(host_id)["tasks_sent"] += 1
 
-    def record_task_completed(self, host_id: str, nbytes: int, cache: dict | None) -> None:
+    def record_task_completed(
+        self,
+        host_id: str,
+        nbytes: int,
+        cache: dict | None,
+        security: dict | None = None,
+    ) -> None:
         """One shard result read back from ``host_id`` (with its latest
-        translation-cache counters, when the worker attached them)."""
+        translation-cache and security counters, when the worker attached
+        them)."""
         with self._lock:
             self._counters["tasks_completed"] += 1
             self._counters["bytes_received"] += int(nbytes)
@@ -114,6 +133,8 @@ class ClusterMetrics:
             entry["tasks_completed"] += 1
             if cache is not None:
                 entry["cache"] = dict(cache)
+            if security is not None:
+                entry["remote_security"] = dict(security)
 
     def record_task_failure(self, host_id: str) -> None:
         """One shard task that failed on ``host_id`` (host death or remote
@@ -193,6 +214,48 @@ class ClusterMetrics:
             if host_id is not None:
                 self._host(host_id)
 
+    def record_transport_bytes(
+        self, host_id: str | None = None, sent: int = 0, received: int = 0
+    ) -> None:
+        """Raw bytes that crossed a host's socket outside a counted frame.
+
+        Handshake/auth exchanges, heartbeat pings/pongs, and the partial
+        bytes of a frame that was subsequently *rejected* (integrity or
+        size failure) all go through here, so the snapshot's byte totals
+        reconcile with what actually crossed the wire — not just with the
+        frames that parsed.
+        """
+        if not sent and not received:
+            return
+        with self._lock:
+            self._counters["bytes_sent"] += int(sent)
+            self._counters["bytes_received"] += int(received)
+            if host_id is not None:
+                self._host(host_id)
+
+    def record_integrity_failure(self, host_id: str) -> None:
+        """A frame from ``host_id`` failed its payload CRC32 check."""
+        with self._lock:
+            self._counters["integrity_failures"] += 1
+            self._host(host_id)["integrity_failures"] += 1
+
+    def record_handshake_failure(self, host_id: str, auth: bool = False) -> None:
+        """A connection handshake with ``host_id`` failed.
+
+        ``auth=True`` marks a rejected credential (wrong/missing token);
+        everything else — version mismatch, protocol garbage, TLS or
+        stream loss mid-handshake — counts as a plain handshake failure.
+        The two are disjoint.
+        """
+        with self._lock:
+            entry = self._host(host_id)
+            if auth:
+                self._counters["auth_rejects"] += 1
+                entry["auth_rejects"] += 1
+            else:
+                self._counters["handshake_failures"] += 1
+                entry["handshake_failures"] += 1
+
     def record_host_death(
         self,
         host_id: str,
@@ -232,14 +295,24 @@ class ClusterMetrics:
         with self._lock:
             self._counters["inline_fallbacks"] += int(shards)
 
-    def record_heartbeat(self, host_id: str, ok: bool, cache: dict | None = None) -> None:
+    def record_heartbeat(
+        self,
+        host_id: str,
+        ok: bool,
+        cache: dict | None = None,
+        security: dict | None = None,
+    ) -> None:
         """One ping/pong exchange with ``host_id`` (or its failure)."""
         with self._lock:
             self._counters["heartbeats"] += 1
             if not ok:
                 self._counters["heartbeat_failures"] += 1
-            elif cache is not None:
-                self._host(host_id)["cache"] = dict(cache)
+                return
+            entry = self._host(host_id)
+            if cache is not None:
+                entry["cache"] = dict(cache)
+            if security is not None:
+                entry["remote_security"] = dict(security)
 
     # -------------------------------------------------------------- snapshots
     def snapshot(self) -> dict:
@@ -260,6 +333,8 @@ class ClusterMetrics:
                 view["last_failure"] = (
                     dict(entry["last_failure"]) if entry["last_failure"] else None
                 )
+                remote = entry["remote_security"]
+                view["remote_security"] = dict(remote) if remote else None
                 in_state = dict(entry["time_in_state"])
                 state = entry["state"]
                 in_state[state] = in_state.get(state, 0.0) + max(
@@ -268,6 +343,13 @@ class ClusterMetrics:
                 view["time_in_state"] = in_state
                 view.pop("state_since", None)
                 hosts[host_id] = view
+                # Fold the worker-reported security tallies into the
+                # top-level totals: the head can only *see* corruption on
+                # frames it receives — what each worker detected on its
+                # inbound side travels back as a gauge and is summed here.
+                if remote:
+                    for key in ("integrity_failures", "auth_rejects", "handshake_failures"):
+                        snap[key] += int(remote.get(key, 0))
             snap["hosts"] = hosts
             snap["death_log"] = [dict(r) for r in self._death_log]
             return snap

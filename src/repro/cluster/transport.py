@@ -23,22 +23,49 @@ to the socket.  Array dtype and shape travel in ``header["arrays"]`` so
 the receiver can rebuild each ndarray with ``np.frombuffer`` (backed by a
 ``bytearray``, so the rebuilt arrays are writable).
 
+Protocol version 2 adds the **trusted data plane**:
+
+* **Payload integrity.**  Every buffer descriptor carries a ``crc32``
+  (zlib) over the buffer's raw bytes, computed at send and verified at
+  receive.  A flipped bit anywhere in an ndarray payload — NIC, switch,
+  proxy, cosmic ray — surfaces as :class:`FrameIntegrityError` instead of
+  flowing silently into SpMM/SDDMM numerics.  Version-2 frames *must*
+  carry checksums; a v2 frame without them is a protocol violation.
+* **Connection handshake.**  Before any task flows, the server sends a
+  CHALLENGE (protocol version + a random nonce), the client answers with
+  a HELLO (its version + an HMAC-SHA256 of the nonce under the shared
+  ``auth_token``), and the server replies WELCOME — or a structured
+  REJECT naming the reason (``version`` / ``auth`` / ``protocol``),
+  written with the *peer's* wire version so even a VERSION=1 peer reads
+  a parseable reject instead of hanging.  See :func:`client_handshake`
+  and :func:`server_handshake`.
+* **Optional TLS.**  :func:`make_server_ssl_context` /
+  :func:`make_client_ssl_context` build ``ssl.SSLContext`` objects for
+  wrapping either side of the stream; the frame protocol (and the fault
+  injection wrapper) layer on top unchanged.
+
 Message types (the ``type`` header field) used by the cluster:
 
+* ``challenge`` / ``hello`` / ``welcome`` / ``reject``: the connection
+  handshake (before anything else on a fresh stream),
 * ``task`` (head → worker): one window-aligned shard of one SpMM/SDDMM,
 * ``result`` / ``error`` (worker → head): the shard's output or the remote
   failure (message + traceback text),
 * ``ping`` / ``pong``: heartbeat probes; the pong carries the worker's
-  translation-cache counters,
+  translation-cache and security counters,
 * ``shutdown`` (head → worker): drain and exit.
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import json
 import random
+import secrets
 import socket
 import struct
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -48,7 +75,12 @@ _PREFIX = struct.Struct("!4sBBI")
 _BUF_LEN = struct.Struct("!Q")
 
 MAGIC = b"FSRP"
-VERSION = 1
+#: Wire protocol version this end speaks (v2 = checksummed + handshake).
+VERSION = 2
+#: Prefix versions the parser will read at all.  v1 frames are accepted
+#: only so the handshake can answer a legacy peer with a structured
+#: reject it can parse; every post-handshake frame is v2.
+SUPPORTED_VERSIONS = frozenset({1, 2})
 
 #: Sanity bounds — a corrupt or hostile prefix must not trigger a huge
 #: allocation before the magic/shape checks can reject it.
@@ -56,9 +88,21 @@ MAX_HEADER_BYTES = 16 * 1024 * 1024
 MAX_BUFFERS = 64
 MAX_BUFFER_BYTES = 16 * 1024**3
 
+#: Handshake frames are tiny; anything bigger arriving mid-handshake is
+#: not a handshake (e.g. a legacy peer's first task frame).
+HANDSHAKE_MAX_BYTES = 64 * 1024
+
 
 class TransportError(RuntimeError):
-    """Malformed frame, protocol violation or mid-frame stream loss."""
+    """Malformed frame, protocol violation or mid-frame stream loss.
+
+    Instances raised out of :func:`recv_message` carry a ``bytes_read``
+    attribute — how many bytes of the offending frame had already crossed
+    the socket — so transport accounting reconciles even for frames that
+    were rejected rather than parsed.
+    """
+
+    bytes_read: int = 0
 
 
 class ConnectionClosedError(TransportError):
@@ -71,8 +115,34 @@ class FrameTooLargeError(TransportError):
     Raised *before* the oversized allocation happens, so one malformed (or
     hostile) peer cannot balloon the receiver's memory up to the global
     :data:`MAX_BUFFER_BYTES` bound.  The per-connection limit is the
-    ``max_frame_bytes`` argument of :func:`recv_message`.
+    ``max_frame_bytes`` argument of :func:`recv_message`; the cumulative
+    check walks the header's declared descriptors before the buffer loop
+    reads a single payload byte, so one huge descriptor hiding among small
+    ones is caught by its index.
     """
+
+
+class FrameIntegrityError(TransportError):
+    """A payload buffer's bytes do not match its declared CRC32.
+
+    Silent corruption made detectable: the receiver verifies every
+    buffer's checksum before handing the arrays to the caller.  The head
+    treats this exactly like a transport failure — the frame is
+    discarded, the connection recycled and the shard re-sent — so a
+    corrupted result costs a retry, never wrong numerics.
+    """
+
+
+class HandshakeError(TransportError):
+    """The connection handshake failed (protocol violation either way)."""
+
+
+class AuthenticationError(HandshakeError):
+    """The peer's HMAC auth digest was missing or wrong for our token."""
+
+
+class VersionMismatchError(HandshakeError):
+    """The peer speaks an incompatible wire protocol version."""
 
 
 @dataclass(frozen=True)
@@ -135,16 +205,27 @@ def _recv_exact(sock: socket.socket, n: int, *, at_boundary: bool = False) -> by
     return buf
 
 
+def _crc32(data) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
 def _array_descriptor(array: np.ndarray) -> dict:
-    return {"dtype": array.dtype.str, "shape": list(array.shape)}
+    return {
+        "dtype": array.dtype.str,
+        "shape": list(array.shape),
+        "crc32": _crc32(memoryview(array).cast("B")),
+    }
 
 
-def send_message(sock: socket.socket, header: dict, arrays=()) -> int:
+def send_message(sock: socket.socket, header: dict, arrays=(), version: int = VERSION) -> int:
     """Send one frame; returns the total bytes written.
 
-    ``header`` must be JSON-serialisable; an ``arrays`` descriptor list is
-    added automatically.  Arrays are made contiguous (a no-op for the
-    batch slices the cluster sends) and streamed as raw bytes.
+    ``header`` must be JSON-serialisable; an ``arrays`` descriptor list
+    (dtype, shape and a CRC32 over the raw bytes of each buffer) is added
+    automatically.  Arrays are made contiguous (a no-op for the batch
+    slices the cluster sends) and streamed as raw bytes.  ``version``
+    overrides the prefix version byte — only the handshake uses this, to
+    write a reject a legacy peer can parse.
     """
     arrays = [np.ascontiguousarray(a) for a in arrays]
     if len(arrays) > MAX_BUFFERS:
@@ -153,7 +234,10 @@ def send_message(sock: socket.socket, header: dict, arrays=()) -> int:
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
     if len(header_bytes) > MAX_HEADER_BYTES:
         raise TransportError(f"header too large ({len(header_bytes)} bytes)")
-    parts = [_PREFIX.pack(MAGIC, VERSION, len(arrays), len(header_bytes)), header_bytes]
+    parts = [
+        _PREFIX.pack(MAGIC, int(version), len(arrays), len(header_bytes)),
+        header_bytes,
+    ]
     for array in arrays:
         parts.append(_BUF_LEN.pack(array.nbytes))
         parts.append(memoryview(array).cast("B"))
@@ -181,22 +265,41 @@ def recv_message(
     Blocks until a full frame arrives (honouring any ``sock.settimeout``,
     whose expiry surfaces as the standard ``socket.timeout``).  The
     returned arrays are writable (backed by the receive buffer, no extra
-    copy).
+    copy) and every buffer's CRC32 has been verified against its header
+    descriptor (:class:`FrameIntegrityError` on mismatch).  The peer's
+    prefix version is reported as ``header["_version"]``.
 
     ``max_frame_bytes`` bounds the *declared* total frame size for this
-    connection: a frame whose header or cumulative buffer declarations
-    exceed it raises :class:`FrameTooLargeError` before the allocation, so
-    a single malformed peer cannot balloon the receiver up to the global
-    :data:`MAX_BUFFER_BYTES` ceiling.
+    connection.  The header's descriptor list is walked **before** the
+    buffer loop allocates anything: the cumulative declared sizes are
+    checked against the limit and a violation raises
+    :class:`FrameTooLargeError` naming the offending descriptor index, so
+    a single huge descriptor among small ones cannot slip past an
+    aggregate check that only ran as buffers streamed in.
+
+    Failures carry a ``bytes_read`` attribute (bytes consumed before the
+    frame was rejected) so callers can keep byte accounting truthful.
     """
+    progress = [0]
+    try:
+        return _recv_frame(sock, max_frame_bytes, progress)
+    except TransportError as exc:
+        exc.bytes_read = progress[0]
+        raise
+
+
+def _recv_frame(
+    sock: socket.socket, max_frame_bytes: int | None, progress: list[int]
+) -> tuple[dict, list[np.ndarray], int]:
     notify = getattr(sock, "notify_frame_recv", None)
     if notify is not None:
         notify()
     prefix = _recv_exact(sock, _PREFIX.size, at_boundary=True)
+    progress[0] += _PREFIX.size
     magic, version, n_bufs, header_len = _PREFIX.unpack(bytes(prefix))
     if magic != MAGIC:
         raise TransportError(f"bad frame magic {magic!r}")
-    if version != VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise TransportError(f"unsupported protocol version {version}")
     if header_len > MAX_HEADER_BYTES:
         raise TransportError(f"header too large ({header_len} bytes)")
@@ -209,31 +312,243 @@ def recv_message(
     try:
         header = json.loads(bytes(_recv_exact(sock, header_len)).decode("utf-8"))
     except ValueError as exc:
+        progress[0] += header_len
         raise TransportError(f"undecodable frame header: {exc}") from exc
+    progress[0] += header_len
+    if not isinstance(header, dict):
+        raise TransportError(f"frame header is not an object: {header!r}")
+    header["_version"] = version
     descriptors = header.get("arrays", [])
     if len(descriptors) != n_bufs:
         raise TransportError(
             f"frame declares {n_bufs} buffers but header describes {len(descriptors)}"
         )
-    arrays: list[np.ndarray] = []
+    # Pre-scan every descriptor before the buffer loop allocates anything:
+    # the cumulative declared byte total must clear max_frame_bytes up
+    # front, and v2 descriptors must all carry checksums.
+    plan: list[tuple[np.dtype, tuple, int, int | None]] = []
+    declared = total
     for i, desc in enumerate(descriptors):
-        (nbytes,) = _BUF_LEN.unpack(bytes(_recv_exact(sock, _BUF_LEN.size)))
+        try:
+            dtype = np.dtype(desc["dtype"])
+            shape = tuple(int(s) for s in desc["shape"])
+            if any(s < 0 for s in shape):
+                raise ValueError(f"negative dimension in {shape}")
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TransportError(f"bad array descriptor {i}: {exc}") from exc
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
         if nbytes > MAX_BUFFER_BYTES:
-            raise TransportError(f"buffer too large ({nbytes} bytes)")
-        if max_frame_bytes is not None and total + _BUF_LEN.size + nbytes > max_frame_bytes:
+            raise TransportError(f"buffer {i} too large ({nbytes} bytes)")
+        declared += _BUF_LEN.size + nbytes
+        if max_frame_bytes is not None and declared > max_frame_bytes:
             raise FrameTooLargeError(
-                f"buffer {i} declares {nbytes} bytes, bringing the frame to "
-                f"{total + _BUF_LEN.size + nbytes} bytes — over this "
-                f"connection's max_frame_bytes={max_frame_bytes}"
+                f"descriptor {i} declares {nbytes} bytes, bringing the frame "
+                f"to {declared} declared bytes — over this connection's "
+                f"max_frame_bytes={max_frame_bytes}"
             )
-        dtype = np.dtype(desc["dtype"])
-        shape = tuple(int(s) for s in desc["shape"])
-        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
-        if expected != nbytes:
+        crc = desc.get("crc32")
+        if version >= 2:
+            if not isinstance(crc, int):
+                raise TransportError(f"v{version} descriptor {i} carries no checksum")
+        else:
+            crc = None
+        plan.append((dtype, shape, nbytes, crc))
+    arrays: list[np.ndarray] = []
+    for i, (dtype, shape, expected, crc) in enumerate(plan):
+        (nbytes,) = _BUF_LEN.unpack(bytes(_recv_exact(sock, _BUF_LEN.size)))
+        progress[0] += _BUF_LEN.size
+        if nbytes != expected:
             raise TransportError(
-                f"buffer length {nbytes} does not match dtype/shape {desc}"
+                f"buffer {i} wire length {nbytes} does not match its declared "
+                f"dtype/shape ({expected} bytes)"
             )
         raw = _recv_exact(sock, nbytes)
+        progress[0] += nbytes
+        if crc is not None and _crc32(raw) != crc:
+            raise FrameIntegrityError(
+                f"buffer {i} of {header.get('type')!r} frame failed its CRC32 "
+                f"check — payload corrupted in flight"
+            )
         arrays.append(np.frombuffer(raw, dtype=dtype).reshape(shape))
         total += _BUF_LEN.size + nbytes
     return header, arrays, total
+
+
+# ---------------------------------------------------------------- handshake
+def _auth_digest(auth_token: str, nonce: str) -> str:
+    """HMAC-SHA256 of the server's nonce under the shared token."""
+    return hmac.new(
+        auth_token.encode("utf-8"), nonce.encode("utf-8"), hashlib.sha256
+    ).hexdigest()
+
+
+def _raise_reject(header: dict) -> None:
+    reason = header.get("reason")
+    message = header.get("message", "")
+    if reason == "auth":
+        raise AuthenticationError(f"peer rejected our credentials: {message}")
+    if reason == "version":
+        raise VersionMismatchError(f"peer rejected our protocol version: {message}")
+    raise HandshakeError(f"peer rejected the handshake ({reason}): {message}")
+
+
+def _send_reject(sock, peer_version: int, reason: str, message: str) -> int:
+    """Best-effort structured reject, written in the peer's wire version."""
+    wire = peer_version if peer_version in SUPPORTED_VERSIONS else VERSION
+    try:
+        return send_message(
+            sock,
+            {"type": "reject", "version": VERSION, "reason": reason, "message": message},
+            version=wire,
+        )
+    except (TransportError, OSError):
+        return 0
+
+
+def client_handshake(sock, auth_token: str | None = None) -> tuple[int, int]:
+    """Authenticate a fresh connection from the client (head) side.
+
+    Reads the server's CHALLENGE, answers with a HELLO carrying this end's
+    protocol version and (when ``auth_token`` is set) the HMAC-SHA256 of
+    the challenge nonce, then waits for the WELCOME.  Returns the
+    ``(bytes_sent, bytes_received)`` the exchange cost, for transport
+    accounting.  Raises :class:`AuthenticationError` /
+    :class:`VersionMismatchError` / :class:`HandshakeError` when the
+    server rejects us (structured reject frames map to the matching
+    exception).
+    """
+    sent = received = 0
+    try:
+        header, _, n = recv_message(sock, max_frame_bytes=HANDSHAKE_MAX_BYTES)
+    except TransportError as exc:
+        raise HandshakeError(f"no challenge from peer: {exc}") from exc
+    received += n
+    kind = header.get("type")
+    if kind == "reject":
+        _raise_reject(header)
+    if kind != "challenge":
+        raise HandshakeError(f"expected a challenge frame, got {kind!r}")
+    version = int(header.get("version") or 0)
+    if version != VERSION:
+        raise VersionMismatchError(
+            f"server speaks protocol version {version}, this end speaks {VERSION}"
+        )
+    if auth_token is None and header.get("auth_required"):
+        raise AuthenticationError(
+            "server requires an auth token and none is configured on this end"
+        )
+    hello = {"type": "hello", "version": VERSION}
+    if auth_token is not None:
+        hello["auth"] = _auth_digest(auth_token, str(header.get("nonce", "")))
+    sent += send_message(sock, hello)
+    try:
+        header, _, n = recv_message(sock, max_frame_bytes=HANDSHAKE_MAX_BYTES)
+    except TransportError as exc:
+        raise HandshakeError(f"no welcome from peer: {exc}") from exc
+    received += n
+    if header.get("type") == "reject":
+        _raise_reject(header)
+    if header.get("type") != "welcome":
+        raise HandshakeError(f"expected a welcome frame, got {header.get('type')!r}")
+    return sent, received
+
+
+def server_handshake(sock, auth_token: str | None = None) -> tuple[int, int]:
+    """Authenticate a fresh connection from the server (worker) side.
+
+    Sends the CHALLENGE (protocol version + a random nonce), validates the
+    peer's HELLO — frame shape, protocol version, and (when ``auth_token``
+    is set) a constant-time comparison of the HMAC digest — and answers
+    WELCOME.  A failing peer gets a structured REJECT written in *its*
+    prefix version (so a VERSION=1 peer reads a parseable frame, not a
+    hang) before the matching exception is raised to the caller, which
+    should drop the connection and keep accepting.  Returns
+    ``(bytes_sent, bytes_received)``.
+    """
+    nonce = secrets.token_hex(16)
+    sent = send_message(
+        sock,
+        {
+            "type": "challenge",
+            "version": VERSION,
+            "nonce": nonce,
+            "auth_required": auth_token is not None,
+        },
+    )
+    received = 0
+    try:
+        header, _, n = recv_message(sock, max_frame_bytes=HANDSHAKE_MAX_BYTES)
+    except TransportError as exc:
+        received += getattr(exc, "bytes_read", 0)
+        raise HandshakeError(f"no parseable hello from peer: {exc}") from exc
+    received += n
+    peer_version = int(header.get("_version") or 0)
+    if header.get("type") != "hello":
+        sent += _send_reject(
+            sock,
+            peer_version,
+            "protocol",
+            f"expected a hello frame, got {header.get('type')!r}",
+        )
+        raise HandshakeError(f"peer opened with {header.get('type')!r}, not hello")
+    hello_version = int(header.get("version") or peer_version or 0)
+    if hello_version != VERSION:
+        sent += _send_reject(
+            sock,
+            peer_version,
+            "version",
+            f"peer speaks protocol version {hello_version}, this end speaks {VERSION}",
+        )
+        raise VersionMismatchError(
+            f"peer speaks protocol version {hello_version}, this end speaks {VERSION}"
+        )
+    if auth_token is not None:
+        digest = header.get("auth")
+        if not isinstance(digest, str) or not hmac.compare_digest(
+            digest, _auth_digest(auth_token, nonce)
+        ):
+            sent += _send_reject(
+                sock, peer_version, "auth", "missing or invalid auth digest"
+            )
+            raise AuthenticationError("peer presented a missing or invalid auth digest")
+    sent += send_message(sock, {"type": "welcome", "version": VERSION})
+    return sent, received
+
+
+# ----------------------------------------------------------------------- TLS
+def make_server_ssl_context(certfile: str, keyfile: str, cafile: str | None = None):
+    """``ssl.SSLContext`` for the worker (server) side of the transport.
+
+    Loads the host certificate + key; when ``cafile`` is given, client
+    certificates are also required and verified against it (mutual TLS).
+    """
+    import ssl
+
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+    context.load_cert_chain(certfile, keyfile)
+    if cafile is not None:
+        context.load_verify_locations(cafile)
+        context.verify_mode = ssl.CERT_REQUIRED
+    return context
+
+
+def make_client_ssl_context(
+    cafile: str, certfile: str | None = None, keyfile: str | None = None
+):
+    """``ssl.SSLContext`` for the head (client) side of the transport.
+
+    The server certificate is verified against the pinned ``cafile`` (for
+    a self-signed deployment, the server certificate itself).  Hostname
+    checking is disabled — the CA pin is the trust anchor; cluster hosts
+    are dialled by address, not stable names.  ``certfile``/``keyfile``
+    present a client certificate when the server demands mutual TLS.
+    """
+    import ssl
+
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_CLIENT)
+    context.check_hostname = False
+    context.verify_mode = ssl.CERT_REQUIRED
+    context.load_verify_locations(cafile)
+    if certfile is not None:
+        context.load_cert_chain(certfile, keyfile)
+    return context

@@ -21,6 +21,18 @@ of :mod:`repro.cluster.transport`.  Per task it
 4. streams the shard output back (dense row slice for SpMM,
    ``(vector_index, values)`` scatter pairs for SDDMM).
 
+**Trust at the door.**  Every accepted connection must clear the
+HELLO/CHALLENGE handshake (protocol version negotiation plus, when an
+``auth_token`` is configured, an HMAC-SHA256 proof over the worker's
+nonce) before a single task frame is read; a peer that fails is sent a
+structured reject, counted (``auth_rejects`` / ``handshake_failures`` in
+the status frames) and dropped — the listener keeps serving the next
+connection.  With ``tls_cert``/``tls_key`` the stream itself is wrapped
+in TLS (``tls_ca`` additionally demands client certificates).  Incoming
+payload buffers are CRC-verified by the transport; a corrupted frame is
+counted (``integrity_failures``) and costs the connection, never wrong
+numerics.
+
 The host is single-threaded and serves one head connection at a time (the
 head holds one long-lived connection per host); a dropped connection sends
 it back to ``accept``, so a head that reconnects after a network blip finds
@@ -30,11 +42,14 @@ the process.
 Run in-process under a spawned subprocess (what the head and the tests
 do), or standalone on a real host::
 
-    python -m repro.cluster.worker --host 0.0.0.0 --port 9070
+    python -m repro.cluster.worker --host 0.0.0.0 --port 9070 \
+        --auth-token "$REPRO_CLUSTER_AUTH_TOKEN" \
+        --tls-cert host.pem --tls-key host.key
 """
 
 from __future__ import annotations
 
+import os
 import socket
 import time
 import traceback
@@ -43,10 +58,14 @@ from dataclasses import asdict
 import numpy as np
 
 from repro.cluster.transport import (
+    AuthenticationError,
+    FrameIntegrityError,
     FrameTooLargeError,
     TransportError,
+    make_server_ssl_context,
     recv_message,
     send_message,
+    server_handshake,
 )
 from repro.formats.cache import (
     FORMAT_CACHE_MAXSIZE,
@@ -61,6 +80,14 @@ from repro.precision.types import Precision
 #: Translation entry points by the task header's ``fmt`` field.
 _TRANSLATORS = {"mebcrs": cached_mebcrs, "sgt16": cached_sgt16}
 
+#: Environment variable the CLI reads the shared auth token from.
+AUTH_TOKEN_ENV = "REPRO_CLUSTER_AUTH_TOKEN"
+
+#: A fresh connection must clear TLS + the frame handshake within this
+#: budget, so a stalled (or non-TLS) peer cannot wedge the single-threaded
+#: accept loop.
+DEFAULT_HANDSHAKE_TIMEOUT_S = 10.0
+
 
 class WorkerHost:
     """State of one worker host: its translation cache and task counters."""
@@ -69,6 +96,7 @@ class WorkerHost:
         self,
         cache_maxsize: int = FORMAT_CACHE_MAXSIZE,
         max_frame_bytes: int | None = None,
+        auth_token: str | None = None,
     ):
         self.cache = TranslationCache(maxsize=cache_maxsize)
         self.tasks_done = 0
@@ -76,7 +104,16 @@ class WorkerHost:
         #: a hostile or corrupt frame cannot make the worker allocate
         #: arbitrary memory before a single payload byte has arrived.
         self.max_frame_bytes = max_frame_bytes
+        #: Shared secret gating the connection handshake (None = open).
+        self.auth_token = auth_token
         self.frames_oversized = 0
+        #: Inbound frames whose payload CRC32 failed verification.
+        self.integrity_failures = 0
+        #: Handshakes dropped for a bad/missing auth digest.
+        self.auth_rejects = 0
+        #: Handshakes dropped for any non-auth reason (version mismatch,
+        #: protocol garbage, TLS failure) — disjoint from auth_rejects.
+        self.handshake_failures = 0
 
     # --------------------------------------------------------------- helpers
     def _status(self) -> dict:
@@ -84,6 +121,11 @@ class WorkerHost:
             "cache": asdict(self.cache.stats()),
             "tasks_done": self.tasks_done,
             "frames_oversized": self.frames_oversized,
+            "security": {
+                "integrity_failures": self.integrity_failures,
+                "auth_rejects": self.auth_rejects,
+                "handshake_failures": self.handshake_failures,
+            },
         }
 
     def _translate(self, header: dict, indptr, indices, data):
@@ -150,6 +192,24 @@ class WorkerHost:
         return reply, payload
 
     # ------------------------------------------------------------ connection
+    def handshake(self, conn: socket.socket) -> bool:
+        """Gate one fresh connection; False means drop it and keep accepting.
+
+        A failed peer was already answered with a structured reject frame
+        (where the stream allowed one) and counted — ``auth_rejects`` for
+        a bad or missing digest, ``handshake_failures`` for everything
+        else (version mismatch, protocol garbage, stream loss).
+        """
+        try:
+            server_handshake(conn, auth_token=self.auth_token)
+            return True
+        except AuthenticationError:
+            self.auth_rejects += 1
+            return False
+        except (TransportError, OSError):
+            self.handshake_failures += 1
+            return False
+
     def serve_connection(self, conn: socket.socket) -> bool:
         """Serve one head connection; returns True when asked to shut down.
 
@@ -168,6 +228,12 @@ class WorkerHost:
                 # any other unusable stream: drop the connection (the limit
                 # was hit *before* allocating) and go back to accept.
                 self.frames_oversized += 1
+                return False
+            except FrameIntegrityError:
+                # A corrupted payload is detected, counted, and costs the
+                # connection — it never reaches a kernel.  The head
+                # re-sends on its fresh connection.
+                self.integrity_failures += 1
                 return False
             except (TransportError, OSError):
                 return False  # head went away: back to accept
@@ -213,6 +279,11 @@ def run_worker(
     cache_maxsize: int = FORMAT_CACHE_MAXSIZE,
     max_frame_bytes: int | None = None,
     socket_wrapper=None,
+    auth_token: str | None = None,
+    tls_cert: str | None = None,
+    tls_key: str | None = None,
+    tls_ca: str | None = None,
+    handshake_timeout_s: float = DEFAULT_HANDSHAKE_TIMEOUT_S,
 ) -> None:
     """Bind, announce the bound address, and serve until told to shut down.
 
@@ -222,9 +293,25 @@ def run_worker(
     hosts without port coordination.  ``max_frame_bytes`` bounds what any
     single incoming frame may declare; ``socket_wrapper`` wraps each
     accepted connection (the fault-injection hook — e.g.
-    ``lambda c: plan.wrap(c, scope="worker-0")``).
+    ``lambda c: plan.wrap(c, scope="worker-0")``) *above* TLS, so injected
+    faults hit plaintext frames exactly as on a clear stream.
+
+    ``auth_token`` arms the connection handshake; ``tls_cert``/``tls_key``
+    serve the stream over TLS (``tls_ca`` demands client certificates
+    too).  Every accepted connection must clear TLS + the handshake within
+    ``handshake_timeout_s`` — a peer that stalls there is dropped without
+    blocking the accept loop for anyone else.
     """
-    state = WorkerHost(cache_maxsize=cache_maxsize, max_frame_bytes=max_frame_bytes)
+    state = WorkerHost(
+        cache_maxsize=cache_maxsize,
+        max_frame_bytes=max_frame_bytes,
+        auth_token=auth_token,
+    )
+    ssl_context = (
+        make_server_ssl_context(tls_cert, tls_key, cafile=tls_ca)
+        if tls_cert is not None
+        else None
+    )
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     try:
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -237,8 +324,20 @@ def run_worker(
             conn, _ = listener.accept()
             try:
                 conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                conn.settimeout(handshake_timeout_s)
+                if ssl_context is not None:
+                    try:
+                        conn = ssl_context.wrap_socket(conn, server_side=True)
+                    except (OSError, ValueError):
+                        # TLS negotiation failed (plaintext peer, bad cert,
+                        # stall): counted, dropped, next connection served.
+                        state.handshake_failures += 1
+                        continue
                 if socket_wrapper is not None:
                     conn = socket_wrapper(conn)
+                if not state.handshake(conn):
+                    continue
+                conn.settimeout(None)
                 if state.serve_connection(conn):
                     return
             finally:
@@ -269,6 +368,25 @@ def main(argv=None) -> None:  # pragma: no cover - thin CLI wrapper
         default=None,
         help="reject frames declaring more than this many bytes (default: unbounded)",
     )
+    parser.add_argument(
+        "--auth-token",
+        default=os.environ.get(AUTH_TOKEN_ENV),
+        help=(
+            "shared secret heads must prove in the connection handshake "
+            f"(default: ${AUTH_TOKEN_ENV}; unset = open access)"
+        ),
+    )
+    parser.add_argument(
+        "--tls-cert", default=None, help="PEM certificate to serve TLS with"
+    )
+    parser.add_argument(
+        "--tls-key", default=None, help="PEM private key for --tls-cert"
+    )
+    parser.add_argument(
+        "--tls-ca",
+        default=None,
+        help="PEM CA bundle; when set, client certificates are required",
+    )
     args = parser.parse_args(argv)
     run_worker(
         host=args.host,
@@ -276,6 +394,10 @@ def main(argv=None) -> None:  # pragma: no cover - thin CLI wrapper
         ready=lambda addr: print(f"worker host listening on {addr[0]}:{addr[1]}", flush=True),
         cache_maxsize=args.cache_size,
         max_frame_bytes=args.max_frame_bytes,
+        auth_token=args.auth_token,
+        tls_cert=args.tls_cert,
+        tls_key=args.tls_key,
+        tls_ca=args.tls_ca,
     )
 
 

@@ -1,12 +1,22 @@
 """Deterministic test harnesses for the distributed serving stack.
 
-Currently one tool lives here: :mod:`repro.testing.faults`, the seeded
+Two tools live here: :mod:`repro.testing.faults`, the seeded
 fault-injection harness that drives every cluster recovery path —
-connection drops, send delays, truncated and corrupted frames, connect
-refusals, scheduled host kills — from an ordinary test instead of OS
-signals and sleeps.
+connection drops, send delays, truncated/corrupted frames and payloads,
+lying checksums, connect refusals, scheduled host kills — from an
+ordinary test instead of OS signals and sleeps; and
+:mod:`repro.testing.tls`, the per-process self-signed loopback
+certificate fixture behind the transport's TLS tests.
 """
 
-from repro.testing.faults import FaultEvent, FaultPlan, FaultSocket
+from repro.testing.faults import FaultEvent, FaultPlan, FaultSocket, PlanSocketWrapper
+from repro.testing.tls import loopback_tls_files, tls_available
 
-__all__ = ["FaultEvent", "FaultPlan", "FaultSocket"]
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSocket",
+    "PlanSocketWrapper",
+    "loopback_tls_files",
+    "tls_available",
+]

@@ -9,10 +9,11 @@ into the transport through an injectable socket wrapper:
 
 * :class:`FaultPlan` holds the schedule.  Faults are armed with builder
   methods (``drop_connection``, ``delay_send``, ``truncate_frame``,
-  ``corrupt_header``, ``refuse_connect``, ``kill_host``) and each fires
-  exactly once, at a deterministic point: the *n*-th transport frame of a
-  matching message type within a matching scope (scopes are arbitrary
-  labels — the head names them after host ids, a worker after itself).
+  ``corrupt_header``, ``corrupt_payload``, ``corrupt_checksum``,
+  ``refuse_connect``, ``kill_host``) and each fires exactly once, at a
+  deterministic point: the *n*-th transport frame of a matching message
+  type within a matching scope (scopes are arbitrary labels — the head
+  names them after host ids, a worker after itself).
 * :class:`FaultSocket` wraps a real socket.  The transport announces each
   frame boundary through the ``notify_frame_send`` / ``notify_frame_recv``
   hooks (see :mod:`repro.cluster.transport`), so fault schedules count
@@ -183,6 +184,61 @@ class FaultPlan:
             )
         )
 
+    def corrupt_payload(
+        self,
+        *,
+        nth: int = 1,
+        type: str | None = "task",
+        scope: str | None = None,
+        buffer: int = 0,
+    ) -> "FaultPlan":
+        """Flip bits inside declared ndarray buffer ``buffer`` of the ``nth``
+        matching frame (seeded positions).
+
+        This is the silent-corruption fault: the frame stays structurally
+        valid — magic, header, lengths all parse — but the payload bytes no
+        longer match their declared CRC32, so a v2 receiver detects it as a
+        :class:`~repro.cluster.transport.FrameIntegrityError` (a v1
+        receiver would have fed the flipped bits straight into a kernel).
+        """
+        return self._arm(
+            _ArmedFault(
+                kind="corrupt_payload",
+                scope=scope,
+                side="send",
+                frame_type=type,
+                remaining=nth,
+                params={"buffer": int(buffer)},
+            )
+        )
+
+    def corrupt_checksum(
+        self,
+        *,
+        nth: int = 1,
+        type: str | None = "task",
+        scope: str | None = None,
+        buffer: int = 0,
+    ) -> "FaultPlan":
+        """Rewrite the declared CRC32 of buffer ``buffer`` in the ``nth``
+        matching frame's header (payload bytes untouched).
+
+        The inverse of :meth:`corrupt_payload`: the data is fine but its
+        checksum lies, so the receiver must reject the frame rather than
+        trust the descriptor.  The rewritten value is ``crc ^ 1`` — same
+        decimal width, so the already-sent ``header_len`` stays truthful.
+        """
+        return self._arm(
+            _ArmedFault(
+                kind="corrupt_checksum",
+                scope=scope,
+                side="send",
+                frame_type=type,
+                remaining=nth,
+                params={"buffer": int(buffer)},
+            )
+        )
+
     def refuse_connect(self, n: int = 1, *, scope: str | None = None) -> "FaultPlan":
         """Refuse the next ``n`` connect attempts in ``scope`` with
         ``ConnectionRefusedError`` (each refusal is one fired event)."""
@@ -234,6 +290,16 @@ class FaultPlan:
     def wrap(self, sock, scope: str | None = None):
         """Wrap ``sock`` so this plan's schedule applies to its frames."""
         return FaultSocket(self, sock, scope=scope)
+
+    def socket_wrapper(self, scope: str | None = None) -> "PlanSocketWrapper":
+        """A reusable ``socket_wrapper`` callable bound to ``scope``.
+
+        Unlike a lambda over :meth:`wrap`, the returned object survives
+        crossing into a forked worker process (``ClusterScheduler``'s
+        ``worker_fault_plan`` hands one to each spawned host), letting a
+        test corrupt frames on the *worker* side of the wire.
+        """
+        return PlanSocketWrapper(self, scope)
 
     def check_connect(self, scope: str | None = None) -> None:
         """Connect-path hook: raises while armed refusals remain for ``scope``.
@@ -302,12 +368,16 @@ class FaultSocket:
         self._corrupt = False
         self._truncate = False
         self._drop = False
+        self._corrupt_payload_bufs: set[int] = set()
+        self._corrupt_checksum_bufs: set[int] = set()
 
     # ----------------------------------------------------- frame-boundary hooks
     def notify_frame_send(self, header: dict) -> None:
         self._part = 0
         self._delay_ms = 0.0
         self._corrupt = self._truncate = self._drop = False
+        self._corrupt_payload_bufs = set()
+        self._corrupt_checksum_bufs = set()
         frame_type = header.get("type")
         for fault in self.plan._take("send", self.scope, frame_type):
             detail = f"frame type={frame_type!r} scope={self.scope}"
@@ -321,6 +391,10 @@ class FaultSocket:
                 self._truncate = True
             elif fault.kind == "drop_connection":
                 self._drop = True
+            elif fault.kind == "corrupt_payload":
+                self._corrupt_payload_bufs.add(fault.params["buffer"])
+            elif fault.kind == "corrupt_checksum":
+                self._corrupt_checksum_bufs.add(fault.params["buffer"])
 
     def notify_frame_recv(self) -> None:
         for fault in self.plan._take("recv", self.scope, None):
@@ -367,6 +441,37 @@ class FaultSocket:
                 self._corrupt = False
                 self._sock.sendall(bytes(raw))
                 return
+            if self._corrupt_checksum_bufs:
+                # Lie about the checksum without touching the payload: the
+                # prefix (with header_len) already left, so the rewrite —
+                # ``crc ^ 1``, same decimal width — must keep the header's
+                # byte length exact.
+                import json as _json
+
+                header = _json.loads(bytes(data).decode("utf-8"))
+                for index in self._corrupt_checksum_bufs:
+                    descriptors = header.get("arrays", [])
+                    if 0 <= index < len(descriptors):
+                        descriptors[index]["crc32"] ^= 1
+                raw = _json.dumps(header, separators=(",", ":")).encode("utf-8")
+                assert len(raw) == len(bytes(data))
+                self._corrupt_checksum_bufs = set()
+                self._sock.sendall(raw)
+                return
+        # Payload parts: buffer i's raw bytes are frame part 3 + 2i (its
+        # 8-byte length prefix is part 2 + 2i).
+        if part >= 3 and (part - 3) % 2 == 0:
+            index = (part - 3) // 2
+            if index in self._corrupt_payload_bufs:
+                original = bytes(data)
+                raw = bytearray(original)
+                for pos in self.plan.corruption(max(1, min(8, len(raw)))):
+                    raw[pos % len(raw)] ^= 1 << (pos % 8)
+                if bytes(raw) == original:  # seeded flips cancelled out
+                    raw[0] ^= 1
+                self._corrupt_payload_bufs.discard(index)
+                self._sock.sendall(bytes(raw))
+                return
         self._sock.sendall(data)
 
     def recv_into(self, buffer, nbytes: int = 0) -> int:
@@ -383,3 +488,22 @@ class FaultSocket:
 
     def __getattr__(self, name):
         return getattr(self._sock, name)
+
+
+class PlanSocketWrapper:
+    """Picklable ``socket_wrapper``: wraps each socket under one plan/scope.
+
+    A plain ``lambda sock: plan.wrap(sock, scope=...)`` would work for
+    in-process use but not as a spawned worker's ``socket_wrapper`` — this
+    class-based callable crosses a ``fork`` into the worker process intact,
+    which is how ``ClusterScheduler(worker_fault_plan=...)`` injects faults
+    on the worker side of the wire.  (The forked copy keeps its own fired
+    log; the parent observes the faults through the head's metrics.)
+    """
+
+    def __init__(self, plan: FaultPlan, scope: str | None = None):
+        self.plan = plan
+        self.scope = scope
+
+    def __call__(self, sock) -> FaultSocket:
+        return self.plan.wrap(sock, scope=self.scope)

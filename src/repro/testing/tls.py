@@ -1,0 +1,90 @@
+"""Self-signed loopback TLS fixture for the cluster transport tests.
+
+The trusted-transport tests (and the auth+TLS chaos benchmark phase) need
+a certificate the worker can serve and the head can pin — without
+committing key material to the repository.  This module mints one
+**per-process** self-signed certificate at first use (SANs ``localhost``
+and ``127.0.0.1``, so hostname-checking clients would accept it too, even
+though the head pins by CA and dials by address) and hands back PEM file
+paths ready for the ``tls_cert``/``tls_key``/``tls_ca`` knobs:
+
+>>> cert, key = loopback_tls_files()          # doctest: +SKIP
+>>> ClusterScheduler(tls_cert=cert, tls_key=key)   # doctest: +SKIP
+
+Generation uses the ``cryptography`` package; :func:`tls_available` gates
+tests so environments without it skip instead of erroring.
+"""
+
+from __future__ import annotations
+
+import datetime
+import functools
+import ipaddress
+import os
+import tempfile
+
+
+def tls_available() -> bool:
+    """Whether this environment can mint the loopback certificate."""
+    try:
+        import cryptography  # noqa: F401
+    except ImportError:  # pragma: no cover - present in the dev image
+        return False
+    return True
+
+
+@functools.lru_cache(maxsize=1)
+def loopback_tls_files() -> tuple[str, str]:
+    """PEM ``(certfile, keyfile)`` for a self-signed loopback certificate.
+
+    Minted once per process into a private temp directory (the key file is
+    mode 0600); repeated calls return the same paths.  The certificate is
+    its own trust anchor — pass the cert path as both ``tls_cert`` on the
+    worker and the head's pinned CA (``ClusterScheduler(tls_cert=...)``
+    does exactly that).
+    """
+    from cryptography import x509
+    from cryptography.hazmat.primitives import hashes, serialization
+    from cryptography.hazmat.primitives.asymmetric import ec
+    from cryptography.x509.oid import NameOID
+
+    key = ec.generate_private_key(ec.SECP256R1())
+    name = x509.Name(
+        [x509.NameAttribute(NameOID.COMMON_NAME, "repro-cluster-loopback")]
+    )
+    now = datetime.datetime.now(datetime.timezone.utc)
+    certificate = (
+        x509.CertificateBuilder()
+        .subject_name(name)
+        .issuer_name(name)
+        .public_key(key.public_key())
+        .serial_number(x509.random_serial_number())
+        .not_valid_before(now - datetime.timedelta(minutes=5))
+        .not_valid_after(now + datetime.timedelta(days=365))
+        .add_extension(
+            x509.SubjectAlternativeName(
+                [
+                    x509.DNSName("localhost"),
+                    x509.IPAddress(ipaddress.IPv4Address("127.0.0.1")),
+                ]
+            ),
+            critical=False,
+        )
+        .add_extension(x509.BasicConstraints(ca=True, path_length=None), critical=True)
+        .sign(key, hashes.SHA256())
+    )
+    directory = tempfile.mkdtemp(prefix="repro-cluster-tls-")
+    cert_path = os.path.join(directory, "loopback-cert.pem")
+    key_path = os.path.join(directory, "loopback-key.pem")
+    with open(cert_path, "wb") as fh:
+        fh.write(certificate.public_bytes(serialization.Encoding.PEM))
+    fd = os.open(key_path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o600)
+    with os.fdopen(fd, "wb") as fh:
+        fh.write(
+            key.private_bytes(
+                serialization.Encoding.PEM,
+                serialization.PrivateFormat.PKCS8,
+                serialization.NoEncryption(),
+            )
+        )
+    return cert_path, key_path

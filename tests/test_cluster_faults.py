@@ -28,6 +28,7 @@ from repro.cluster.transport import (
     ConnectionClosedError,
     FrameTooLargeError,
     TransportError,
+    client_handshake,
     recv_message,
     send_message,
 )
@@ -184,8 +185,7 @@ def worker():
     assert ready.wait(TIMEOUT), "worker never announced its address"
     yield box["addr"]
     # Clean shutdown so the thread (and its listener) exits.
-    conn = socket.create_connection(box["addr"], timeout=TIMEOUT)
-    conn.settimeout(TIMEOUT)
+    conn = _connect(box["addr"])
     send_message(conn, {"type": "shutdown"})
     recv_message(conn)
     conn.close()
@@ -193,9 +193,17 @@ def worker():
     assert not thread.is_alive()
 
 
-def _ping(address) -> dict:
+def _connect(address) -> socket.socket:
+    """Dial the worker and clear its connection handshake (v2 transport:
+    nothing else flows on a fresh stream until the handshake passes)."""
     conn = socket.create_connection(address, timeout=TIMEOUT)
     conn.settimeout(TIMEOUT)
+    client_handshake(conn)
+    return conn
+
+
+def _ping(address) -> dict:
+    conn = _connect(address)
     send_message(conn, {"type": "ping"})
     header, _, _ = recv_message(conn)
     conn.close()
@@ -204,8 +212,8 @@ def _ping(address) -> dict:
 
 
 def test_worker_survives_truncated_frame_mid_buffer(worker):
-    conn = socket.create_connection(worker, timeout=TIMEOUT)
-    header = b'{"type":"task","arrays":[{"dtype":"<f4","shape":[25]}]}'
+    conn = _connect(worker)
+    header = b'{"type":"task","arrays":[{"dtype":"<f4","shape":[25],"crc32":0}]}'
     conn.sendall(_PREFIX.pack(MAGIC, VERSION, 1, len(header)) + header)
     conn.sendall(_BUF_LEN.pack(100) + b"\x00" * 10)  # 10 of 100 bytes, then gone
     conn.close()
@@ -213,7 +221,7 @@ def test_worker_survives_truncated_frame_mid_buffer(worker):
 
 
 def test_worker_survives_corrupt_json_header(worker):
-    conn = socket.create_connection(worker, timeout=TIMEOUT)
+    conn = _connect(worker)
     garbage = b"\xff" * 32  # declared as header, not valid UTF-8/JSON
     conn.sendall(_PREFIX.pack(MAGIC, VERSION, 0, len(garbage)) + garbage)
     conn.close()
@@ -221,11 +229,10 @@ def test_worker_survives_corrupt_json_header(worker):
 
 
 def test_worker_rejects_oversized_declaration_and_keeps_serving(worker):
-    conn = socket.create_connection(worker, timeout=TIMEOUT)
-    conn.settimeout(TIMEOUT)
+    conn = _connect(worker)
     # A tiny header followed by a buffer declaring 1 GiB: the worker must
     # refuse *before* allocating and drop the connection.
-    header = b'{"type":"task","arrays":[{"dtype":"<f4","shape":[268435456]}]}'
+    header = b'{"type":"task","arrays":[{"dtype":"<f4","shape":[268435456],"crc32":0}]}'
     conn.sendall(_PREFIX.pack(MAGIC, VERSION, 1, len(header)) + header)
     conn.sendall(_BUF_LEN.pack(1 << 30))
     # The worker closes on us rather than reading the (never-sent) payload.
@@ -238,8 +245,12 @@ def test_worker_rejects_oversized_declaration_and_keeps_serving(worker):
 
 def test_worker_fault_wrapper_hook():
     """`run_worker(socket_wrapper=...)` threads a FaultPlan into the
-    worker side: a worker-side recv drop resets the head's connection."""
-    plan = FaultPlan(seed=9).drop_connection(nth=2, side="recv", scope="w0")
+    worker side: a worker-side recv drop resets the head's connection.
+
+    The wrapper sits below the handshake, so the hello the worker reads is
+    recv frame 1 on its schedule — the first post-handshake ping is frame 2.
+    """
+    plan = FaultPlan(seed=9).drop_connection(nth=3, side="recv", scope="w0")
     box = {}
     ready = threading.Event()
 
@@ -259,11 +270,10 @@ def test_worker_fault_wrapper_hook():
     )
     thread.start()
     assert ready.wait(TIMEOUT)
-    conn = socket.create_connection(box["addr"], timeout=TIMEOUT)
-    conn.settimeout(TIMEOUT)
+    conn = _connect(box["addr"])  # handshake hello = worker recv frame 1
     send_message(conn, {"type": "ping"})
-    assert recv_message(conn)[0]["type"] == "pong"  # frame 1 served
-    # The worker counts its 2nd recv frame and drops before reading it, so
+    assert recv_message(conn)[0]["type"] == "pong"  # frame 2 served
+    # The worker counts its 3rd recv frame and drops before reading it, so
     # our 2nd ping fails on send or on the reply read, depending on timing.
     with pytest.raises((TransportError, OSError)):
         send_message(conn, {"type": "ping"})
@@ -272,8 +282,7 @@ def test_worker_fault_wrapper_hook():
     assert plan.fired_kinds() == ["drop_connection"]
     # The worker survived its own injected drop and serves the next
     # connection (frame counting continues on the new wrapper).
-    conn = socket.create_connection(box["addr"], timeout=TIMEOUT)
-    conn.settimeout(TIMEOUT)
+    conn = _connect(box["addr"])
     send_message(conn, {"type": "shutdown"})
     recv_message(conn)
     conn.close()

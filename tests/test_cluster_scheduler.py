@@ -239,7 +239,7 @@ def test_worker_survives_head_disconnect_and_reconnect():
     import socket as socket_mod
 
     from repro.cluster.head import spawn_local_host
-    from repro.cluster.transport import recv_message, send_message
+    from repro.cluster.transport import client_handshake, recv_message, send_message
 
     ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else None)
     process, address = spawn_local_host(ctx, "reconnect-test")
@@ -266,6 +266,8 @@ def test_worker_survives_head_disconnect_and_reconnect():
         payload = [csr.indptr, csr.indices, csr.data, b_q]
 
         first = socket_mod.create_connection(address, timeout=10)
+        first.settimeout(10)
+        client_handshake(first)
         send_message(first, task, payload)
         first.close()  # vanish while the worker is still computing
         time.sleep(0.6)  # let the worker finish the task and hit the send
@@ -273,6 +275,7 @@ def test_worker_survives_head_disconnect_and_reconnect():
 
         second = socket_mod.create_connection(address, timeout=10)
         second.settimeout(10)
+        client_handshake(second)
         send_message(second, dict(task, delay_s=0.0), payload)
         header, arrays, _ = recv_message(second)
         assert header["type"] == "result"
