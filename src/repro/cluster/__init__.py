@@ -22,7 +22,12 @@ through the same retry machinery, never silently computed on.  Routing is
 by matrix content key under rendezvous
 hashing, so every host's own translation cache serves repeat requests
 for "its" matrices — the multi-host analogue of the serving frontend's
-content-keyed translation dedup.
+content-keyed translation dedup.  On top of that, the v3 data plane
+pushes matrix and operand bytes **once per (host, content key)**
+(:mod:`repro.cluster.store`): workers pin pushed bundles in a
+byte-budgeted :class:`~repro.cluster.store.PinnedStore` and repeat task
+frames reference them by key — a ``store_miss`` after eviction or a cold
+restart is recovered by re-pushing, never by failing the request.
 
 The serving frontend consumes it as a backend::
 
@@ -50,6 +55,13 @@ from repro.cluster.errors import (
 from repro.cluster.head import ClusterScheduler, HostState, rendezvous_rank
 from repro.cluster.membership import HostHealth, MembershipProbe
 from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.store import (
+    PinnedStore,
+    StoreMissError,
+    csr_store_key,
+    make_store_key,
+    operand_store_key,
+)
 from repro.cluster.transport import (
     AuthenticationError,
     ConnectionClosedError,
@@ -83,16 +95,21 @@ __all__ = [
     "HostState",
     "MembershipError",
     "MembershipProbe",
+    "PinnedStore",
     "RetryPolicy",
     "SddmmAssembly",
     "SpmmAssembly",
+    "StoreMissError",
     "TransportError",
     "VersionMismatchError",
     "WorkerHost",
     "WorkerTaskError",
     "client_handshake",
+    "csr_store_key",
     "make_client_ssl_context",
     "make_server_ssl_context",
+    "make_store_key",
+    "operand_store_key",
     "recv_message",
     "rendezvous_rank",
     "run_worker",

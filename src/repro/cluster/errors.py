@@ -19,10 +19,17 @@ failed its CRC32), :class:`HandshakeError` and its
 These deliberately do **not** derive from :class:`ClusterError`: they are
 peer-to-peer stream conditions the head converts into recovery actions
 (retry, SUSPECT, failover) rather than failures a serving client sees.
+
+:class:`~repro.cluster.store.StoreMissError` (re-exported from
+:mod:`repro.cluster.store`) sits in the same recovery-not-failure camp: a
+worker raising it answers the head with a ``store_miss`` frame, and the
+head re-pushes the pinned bytes under its retry budget — it never
+propagates to a serving client either.
 """
 
 from __future__ import annotations
 
+from repro.cluster.store import StoreMissError  # noqa: F401 - re-exported
 from repro.cluster.transport import (  # noqa: F401 - re-exported taxonomy
     AuthenticationError,
     ConnectionClosedError,

@@ -42,6 +42,15 @@ changes underneath:
   exactly like a transport failure: the connection recycles, the shard
   re-sends, and the request completes bit-identically — corruption costs
   a retry, never wrong numerics.
+* **Push/pin data plane (protocol v3).**  Operand bytes ship **once per
+  (host, content key)**, not once per task: each host client keeps a
+  ledger of what its worker has pinned (:mod:`repro.cluster.store`),
+  pushes ledger-missing CSR bundles and dense panels in ``store_put``
+  frames, and sends task frames that reference keys only.  A
+  ``store_miss`` (eviction, cold restart) is handled like a transient
+  transport failure — re-push, bounded, with task-embedded operands as
+  the last resort — and legacy v2 peers keep working with embedded
+  operands after version negotiation.
 * **Assembly, not shared memory.**  Shard results return as transport
   payloads and are reassembled by :mod:`repro.cluster.assembly` with
   overlap/completeness checks — there is no shared output buffer to
@@ -78,6 +87,7 @@ from repro.cluster.membership import (
     MembershipProbe,
 )
 from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.store import csr_store_key, operand_store_key
 from repro.cluster.transport import (
     AuthenticationError,
     FrameIntegrityError,
@@ -148,10 +158,19 @@ class _Stop:
 
 @dataclass
 class _Task:
-    """One shard task travelling through a host client."""
+    """One shard task travelling through a host client.
+
+    ``store_plan`` is the push/pin decomposition of ``arrays``: a list of
+    ``(store_key, arrays)`` groups whose concatenation equals the embedded
+    payload, with the CSR bundle first by convention.  On a v3 connection
+    the client pushes ledger-missing groups once and sends the task frame
+    with keys only; ``arrays`` stays attached as the embedded fallback
+    (legacy peer, or a store that keeps missing under a tiny budget).
+    """
 
     header: dict
     arrays: list
+    store_plan: list = field(default_factory=list)
     future: Future = field(default_factory=Future)
 
 
@@ -216,6 +235,15 @@ class _HostClient(threading.Thread):
         self._wake = threading.Event()  # interrupts backoff sleeps on stop()
         self._in_flight = False
         self._reconnect_epoch = 0  # keys the jitter stream per SUSPECT episode
+        #: Wire version negotiated on the current connection (v2 until the
+        #: first handshake says otherwise; push/pin needs >= 3).
+        self.wire_version = 2
+        #: Store keys the head believes this worker has pinned.  It lives
+        #: on the client, so a DEAD host's ledger dies with it (a restarted
+        #: worker is never assumed warm) and readmission starts from the
+        #: inventory the warm-up pong actually reports.  Only this client's
+        #: thread mutates it (tasks and heartbeats are serialised there).
+        self.ledger: set[str] = set()
 
     # ------------------------------------------------------------- liveness
     @property
@@ -256,7 +284,7 @@ class _HostClient(threading.Thread):
                 sock = self.ssl_context.wrap_socket(sock)
             if self.fault_plan is not None:
                 sock = self.fault_plan.wrap(sock, scope=self.host_id)
-            sent, received = client_handshake(sock, auth_token=self.auth_token)
+            sent, received, negotiated = client_handshake(sock, auth_token=self.auth_token)
         except BaseException as exc:
             try:
                 sock.close()
@@ -268,6 +296,7 @@ class _HostClient(threading.Thread):
                 )
             raise
         self.metrics.record_transport_bytes(self.host_id, sent=sent, received=received)
+        self.wire_version = negotiated
         return sock
 
     def connect(self) -> None:
@@ -277,23 +306,28 @@ class _HostClient(threading.Thread):
     def warmup(self) -> None:
         """Cache warm-up ping gating readmission (RECOVERING → HEALTHY).
 
-        Verifies the host answers frames end to end and pulls its
-        translation-cache counters into the head's metrics before the host
-        takes traffic again.
+        Verifies the host answers frames end to end, pulls its
+        translation-cache counters into the head's metrics, and re-warms
+        the pinned-store ledger from the inventory the pong reports — a
+        worker that survived the outage keeps its pushed matrices without
+        a re-push, while a restarted (cold) process reports an empty
+        inventory and gets everything pushed again on first use.
         """
         self._sock.settimeout(self.heartbeat_timeout_s)
-        sent = send_message(self._sock, {"type": "ping"})
+        sent = send_message(self._sock, {"type": "ping"}, version=self.wire_version)
         header, _, received = recv_message(
             self._sock, max_frame_bytes=self.max_frame_bytes
         )
         self.metrics.record_transport_bytes(self.host_id, sent=sent, received=received)
         if header.get("type") != "pong":
             raise TransportError(f"unexpected warm-up reply {header.get('type')!r}")
+        self.ledger = set(header.get("store_keys") or ())
         self.metrics.record_heartbeat(
             self.host_id,
             ok=True,
             cache=header.get("cache"),
             security=header.get("security"),
+            store=header.get("store"),
         )
         self._set_state(HostHealth.HEALTHY)
 
@@ -429,14 +463,70 @@ class _HostClient(threading.Thread):
             self._mark_dead(exc)
             raise
 
+    def _push_missing(self, plan: list) -> None:
+        """Push every plan group the ledger says the worker lacks.
+
+        One ``store_put`` + ``store_ack`` round trip per missing group;
+        groups already in the ledger are counted as ``bytes_saved`` — the
+        payload a v2 task frame would have embedded.  The ack's eviction
+        list prunes the ledger immediately, so a tiny store budget costs
+        a re-push on next use rather than a guaranteed ``store_miss``.
+        Transport failures propagate to the caller's recovery path.
+        """
+        for key, arrays in plan:
+            nbytes = sum(int(np.asarray(a).nbytes) for a in arrays)
+            if key in self.ledger:
+                self.metrics.record_store_hit(self.host_id, nbytes)
+                continue
+            sent = send_message(
+                self._sock,
+                {"type": "store_put", "store_key": key},
+                arrays,
+                version=self.wire_version,
+            )
+            self.metrics.record_store_put(self.host_id, sent)
+            header, _, received = recv_message(
+                self._sock, max_frame_bytes=self.max_frame_bytes
+            )
+            self.metrics.record_transport_bytes(
+                self.host_id, received=received, frame_type="store_ack"
+            )
+            if header.get("type") != "store_ack":
+                raise TransportError(f"unexpected store_put reply {header.get('type')!r}")
+            self.ledger.add(key)
+            for evicted in header.get("evicted", ()):
+                self.ledger.discard(evicted)
+
     def _run_task(self, task: _Task) -> None:
         self._in_flight = True
         recoveries = 0
+        miss_retries = 0
+        # Embedded fallback once the wire is v2 or the store keeps missing
+        # (a budget smaller than the working set): costs bytes, never the
+        # request.
+        use_store = bool(task.store_plan)
         try:
             while True:
                 try:
                     self._sock.settimeout(self.task_timeout_s)
-                    sent = send_message(self._sock, task.header, task.arrays)
+                    by_reference = use_store and self.wire_version >= 3
+                    if by_reference:
+                        self._push_missing(task.store_plan)
+                        header = dict(task.header)
+                        header["store_csr"] = task.store_plan[0][0]
+                        header["store_operands"] = [
+                            key for key, _ in task.store_plan[1:]
+                        ]
+                        sent = send_message(
+                            self._sock, header, [], version=self.wire_version
+                        )
+                    else:
+                        sent = send_message(
+                            self._sock,
+                            task.header,
+                            task.arrays,
+                            version=self.wire_version,
+                        )
                     self.metrics.record_task_sent(self.host_id, sent)
                     header, arrays, received = recv_message(
                         self._sock, max_frame_bytes=self.max_frame_bytes
@@ -476,6 +566,23 @@ class _HostClient(threading.Thread):
                         HostDeadError(f"host {self.host_id} died mid-shard: {exc}")
                     )
                     return
+                if header.get("type") == "store_miss":
+                    # The worker no longer holds keys the ledger promised
+                    # (evicted under budget pressure, or a restarted cold
+                    # process).  Treated like a transient failure: drop the
+                    # stale entries and re-push, bounded — past the budget
+                    # the task ships with embedded operands instead, so a
+                    # thrashing store can cost bytes but never the request.
+                    self.metrics.record_store_miss(self.host_id)
+                    self.metrics.record_transport_bytes(
+                        self.host_id, received=received, frame_type="store_miss"
+                    )
+                    for key in header.get("missing", ()):
+                        self.ledger.discard(key)
+                    miss_retries += 1
+                    if miss_retries > max(1, self.retry_policy.max_attempts):
+                        use_store = False
+                    continue
                 if header.get("type") == "error":
                     # The *computation* failed on a live host: deterministic,
                     # so it is propagated rather than retried elsewhere.
@@ -492,6 +599,7 @@ class _HostClient(threading.Thread):
                     received,
                     header.get("cache"),
                     security=header.get("security"),
+                    store=header.get("store"),
                 )
                 task.future.set_result((header, arrays))
                 return
@@ -503,7 +611,7 @@ class _HostClient(threading.Thread):
             return
         try:
             self._sock.settimeout(self.heartbeat_timeout_s)
-            sent = send_message(self._sock, {"type": "ping"})
+            sent = send_message(self._sock, {"type": "ping"}, version=self.wire_version)
             self.metrics.record_transport_bytes(self.host_id, sent=sent)
             header, _, received = recv_message(
                 self._sock, max_frame_bytes=self.max_frame_bytes
@@ -520,17 +628,22 @@ class _HostClient(threading.Thread):
             self.metrics.record_heartbeat(self.host_id, ok=False)
             self._recover_connection(exc)
             return
+        # The pong's key inventory is ground truth for the ledger: a worker
+        # that restarted behind the same address (cold store) stops looking
+        # warm at the next idle beat instead of at the next store_miss.
+        self.ledger = set(header.get("store_keys") or ())
         self.metrics.record_heartbeat(
             self.host_id,
             ok=True,
             cache=header.get("cache"),
             security=header.get("security"),
+            store=header.get("store"),
         )
 
     def _shutdown_host(self) -> None:
         try:
             self._sock.settimeout(self.heartbeat_timeout_s)
-            send_message(self._sock, {"type": "shutdown"})
+            send_message(self._sock, {"type": "shutdown"}, version=self.wire_version)
             recv_message(self._sock)  # the worker's "bye"
         except (TransportError, OSError):
             pass
@@ -647,6 +760,15 @@ class ClusterScheduler:
         head also presents ``tls_cert``/``tls_key`` as its client
         certificate (mutual TLS).  Spawned loopback workers serve with
         the same certificate.
+    store_bytes:
+        Pin-store budget (bytes) for spawned loopback workers — the
+        protocol v3 push/pin cache of matrix and operand bytes (default:
+        the worker's own 256 MiB; external workers take ``--store-bytes``).
+    worker_protocol_version:
+        Cap on the wire version spawned workers advertise.  ``2`` makes
+        every worker a legacy peer: the head negotiates down and embeds
+        operand bytes in every task frame — what the mixed-version tests
+        and the benchmark's v2 baseline use.
     """
 
     def __init__(
@@ -668,6 +790,8 @@ class ClusterScheduler:
         tls_cert: str | None = None,
         tls_key: str | None = None,
         tls_ca: str | None = None,
+        store_bytes: int | None = None,
+        worker_protocol_version: int | None = None,
     ):
         if addresses is None and int(hosts) < 0:
             raise ValueError("hosts must be >= 0")
@@ -719,6 +843,10 @@ class ClusterScheduler:
                     worker_kwargs["tls_cert"] = tls_cert
                     worker_kwargs["tls_key"] = tls_key
                     worker_kwargs["tls_ca"] = tls_ca
+                if store_bytes is not None:
+                    worker_kwargs["store_bytes"] = int(store_bytes)
+                if worker_protocol_version is not None:
+                    worker_kwargs["protocol_version"] = int(worker_protocol_version)
                 for _ in range(int(hosts)):
                     host_id = self._new_host_id()
                     kwargs = dict(worker_kwargs)
@@ -981,7 +1109,11 @@ class ClusterScheduler:
             first_attempt = False
             submitted: list[tuple[int, _Task]] = []
             for index in pending:
-                task = _Task(header=tasks[index]["header"], arrays=tasks[index]["arrays"])
+                task = _Task(
+                    header=tasks[index]["header"],
+                    arrays=tasks[index]["arrays"],
+                    store_plan=tasks[index].get("store_plan", []),
+                )
                 if not target.client.submit(task):
                     break  # died mid-submit: the rest re-route next round
                 submitted.append((index, task))
@@ -1038,7 +1170,14 @@ class ClusterScheduler:
             if target.client.state is HostHealth.SUSPECT:
                 backup = self._speculation_target(content_key, exclude=target.host_id)
                 if backup is not None:
-                    duplicate = _Task(header=source["header"], arrays=source["arrays"])
+                    # The duplicate carries the same store plan: the backup
+                    # host's client pushes whatever *its* ledger is missing
+                    # before referencing keys — failover re-push for free.
+                    duplicate = _Task(
+                        header=source["header"],
+                        arrays=source["arrays"],
+                        store_plan=source.get("store_plan", []),
+                    )
                     if backup.client.submit(duplicate):
                         attempts.append(duplicate)
                         self.metrics.record_speculation(backup.host_id)
@@ -1115,13 +1254,27 @@ class ClusterScheduler:
         csr, content_key = self._resolve_identity(fmt, csr, content_key)
         b_q = np.ascontiguousarray(b_q, dtype=np.float32)
 
+        # One store plan per request: the CSR bundle keyed by the routing
+        # content key, the dense panel keyed by its own content hash —
+        # every shard of this request references the same keys, so a host
+        # receives the bytes once, not once per shard (and repeat requests
+        # for a pinned matrix ship no matrix bytes at all).
+        store_plan = [
+            (csr_store_key(content_key), [csr.indptr, csr.indices, csr.data]),
+            (operand_store_key(b_q), [b_q]),
+        ]
         tasks = []
         for i, r in enumerate(ranges):
             header = self._task_header(
                 "spmm", fmt, csr, content_key, r, i, {"precision": precision.value}
             )
             tasks.append(
-                {"header": header, "arrays": [csr.indptr, csr.indices, csr.data, b_q], "range": r}
+                {
+                    "header": header,
+                    "arrays": [csr.indptr, csr.indices, csr.data, b_q],
+                    "store_plan": store_plan,
+                    "range": r,
+                }
             )
 
         def inline(task: dict) -> tuple:
@@ -1174,6 +1327,11 @@ class ClusterScheduler:
         a_q = np.ascontiguousarray(a_q, dtype=np.float32)
         b_q = np.ascontiguousarray(b_q, dtype=np.float32)
 
+        store_plan = [
+            (csr_store_key(content_key), [csr.indptr, csr.indices, csr.data]),
+            (operand_store_key(a_q), [a_q]),
+            (operand_store_key(b_q), [b_q]),
+        ]
         tasks = []
         for i, r in enumerate(ranges):
             header = self._task_header(
@@ -1193,6 +1351,7 @@ class ClusterScheduler:
                 {
                     "header": header,
                     "arrays": [csr.indptr, csr.indices, csr.data, a_q, b_q],
+                    "store_plan": store_plan,
                     "range": r,
                 }
             )

@@ -74,9 +74,21 @@ class ClusterMetrics:
             "integrity_failures": 0,
             "auth_rejects": 0,
             "handshake_failures": 0,
+            # Matrix push/pin (protocol v3).  ``bytes_saved`` is the wire
+            # volume a task *would* have carried embedded but shipped as a
+            # store-key reference instead — the push/pin payoff, directly.
+            "store_puts": 0,
+            "store_put_bytes": 0,
+            "store_hits": 0,
+            "store_misses": 0,
+            "bytes_saved": 0,
         }
         self._per_host: dict[str, dict] = {}
         self._death_log: list[dict] = []
+        #: Byte totals split by frame type (``task``, ``result``,
+        #: ``store_put``, ``control`` …) so push savings vs. task/control
+        #: traffic are directly observable in ``stats_snapshot()``.
+        self._bytes_by_frame_type: dict[str, dict] = {}
 
     # -------------------------------------------------------------- recorders
     def _host(self, host_id: str) -> dict:
@@ -99,6 +111,15 @@ class ClusterMetrics:
                 "handshake_failures": 0,
                 #: Latest worker-side security counters (from status frames).
                 "remote_security": None,
+                #: Latest worker-side pin-store gauges (from status frames):
+                #: pinned_bytes/budget_bytes/entries plus put/hit/miss/
+                #: eviction counters.
+                "store": None,
+                #: Head-side push/pin activity against this host.
+                "store_puts": 0,
+                "store_hits": 0,
+                "store_misses": 0,
+                "bytes_saved": 0,
             }
             self._per_host[host_id] = entry
         return entry
@@ -109,11 +130,20 @@ class ClusterMetrics:
             self._counters["requests"] += 1
             self._counters["shards"] += int(shards)
 
+    def _frame_bytes(self, frame_type: str, sent: int = 0, received: int = 0) -> None:
+        """Tally bytes under a frame-type bucket; called under the lock."""
+        bucket = self._bytes_by_frame_type.setdefault(
+            frame_type, {"sent": 0, "received": 0}
+        )
+        bucket["sent"] += int(sent)
+        bucket["received"] += int(received)
+
     def record_task_sent(self, host_id: str, nbytes: int) -> None:
         """One shard task written to ``host_id``'s stream."""
         with self._lock:
             self._counters["tasks_sent"] += 1
             self._counters["bytes_sent"] += int(nbytes)
+            self._frame_bytes("task", sent=nbytes)
             self._host(host_id)["tasks_sent"] += 1
 
     def record_task_completed(
@@ -122,19 +152,23 @@ class ClusterMetrics:
         nbytes: int,
         cache: dict | None,
         security: dict | None = None,
+        store: dict | None = None,
     ) -> None:
         """One shard result read back from ``host_id`` (with its latest
-        translation-cache and security counters, when the worker attached
-        them)."""
+        translation-cache, security and pin-store counters, when the worker
+        attached them)."""
         with self._lock:
             self._counters["tasks_completed"] += 1
             self._counters["bytes_received"] += int(nbytes)
+            self._frame_bytes("result", received=nbytes)
             entry = self._host(host_id)
             entry["tasks_completed"] += 1
             if cache is not None:
                 entry["cache"] = dict(cache)
             if security is not None:
                 entry["remote_security"] = dict(security)
+            if store is not None:
+                entry["store"] = dict(store)
 
     def record_task_failure(self, host_id: str) -> None:
         """One shard task that failed on ``host_id`` (host death or remote
@@ -215,7 +249,11 @@ class ClusterMetrics:
                 self._host(host_id)
 
     def record_transport_bytes(
-        self, host_id: str | None = None, sent: int = 0, received: int = 0
+        self,
+        host_id: str | None = None,
+        sent: int = 0,
+        received: int = 0,
+        frame_type: str = "control",
     ) -> None:
         """Raw bytes that crossed a host's socket outside a counted frame.
 
@@ -223,15 +261,42 @@ class ClusterMetrics:
         bytes of a frame that was subsequently *rejected* (integrity or
         size failure) all go through here, so the snapshot's byte totals
         reconcile with what actually crossed the wire — not just with the
-        frames that parsed.
+        frames that parsed.  ``frame_type`` buckets the volume in
+        ``bytes_by_frame_type`` (default ``"control"``).
         """
         if not sent and not received:
             return
         with self._lock:
             self._counters["bytes_sent"] += int(sent)
             self._counters["bytes_received"] += int(received)
+            self._frame_bytes(frame_type, sent=sent, received=received)
             if host_id is not None:
                 self._host(host_id)
+
+    def record_store_put(self, host_id: str, nbytes: int) -> None:
+        """One ``store_put`` frame (pushed matrix bytes) sent to ``host_id``."""
+        with self._lock:
+            self._counters["store_puts"] += 1
+            self._counters["store_put_bytes"] += int(nbytes)
+            self._counters["bytes_sent"] += int(nbytes)
+            self._frame_bytes("store_put", sent=nbytes)
+            self._host(host_id)["store_puts"] += 1
+
+    def record_store_hit(self, host_id: str, bytes_saved: int) -> None:
+        """One task referenced ``host_id``'s pinned bytes instead of
+        embedding them; ``bytes_saved`` is the payload volume not shipped."""
+        with self._lock:
+            self._counters["store_hits"] += 1
+            self._counters["bytes_saved"] += int(bytes_saved)
+            entry = self._host(host_id)
+            entry["store_hits"] += 1
+            entry["bytes_saved"] += int(bytes_saved)
+
+    def record_store_miss(self, host_id: str) -> None:
+        """``host_id`` answered ``store_miss`` — the head re-pushes."""
+        with self._lock:
+            self._counters["store_misses"] += 1
+            self._host(host_id)["store_misses"] += 1
 
     def record_integrity_failure(self, host_id: str) -> None:
         """A frame from ``host_id`` failed its payload CRC32 check."""
@@ -301,6 +366,7 @@ class ClusterMetrics:
         ok: bool,
         cache: dict | None = None,
         security: dict | None = None,
+        store: dict | None = None,
     ) -> None:
         """One ping/pong exchange with ``host_id`` (or its failure)."""
         with self._lock:
@@ -313,6 +379,8 @@ class ClusterMetrics:
                 entry["cache"] = dict(cache)
             if security is not None:
                 entry["remote_security"] = dict(security)
+            if store is not None:
+                entry["store"] = dict(store)
 
     # -------------------------------------------------------------- snapshots
     def snapshot(self) -> dict:
@@ -335,6 +403,7 @@ class ClusterMetrics:
                 )
                 remote = entry["remote_security"]
                 view["remote_security"] = dict(remote) if remote else None
+                view["store"] = dict(entry["store"]) if entry["store"] else None
                 in_state = dict(entry["time_in_state"])
                 state = entry["state"]
                 in_state[state] = in_state.get(state, 0.0) + max(
@@ -352,6 +421,10 @@ class ClusterMetrics:
                         snap[key] += int(remote.get(key, 0))
             snap["hosts"] = hosts
             snap["death_log"] = [dict(r) for r in self._death_log]
+            snap["bytes_by_frame_type"] = {
+                frame_type: dict(bucket)
+                for frame_type, bucket in self._bytes_by_frame_type.items()
+            }
             return snap
 
     def remote_cache_stats(self) -> CacheStats:

@@ -1,0 +1,244 @@
+"""Content-addressed matrix push/pin: ship operand bytes once per host.
+
+Before this module, every shard task re-shipped the matrix's full CSR
+buffers (indptr/indices/data) plus the dense operands over TCP, even
+though affinity routing sends all shards of a matrix to the same host and
+repeat traffic keeps hitting the same content key.  Protocol v3 replaces
+that with the "place data once, reference it by name" shape of DGL's
+distributed kvstore, layered over the trusted v2 frame protocol:
+
+* The head keeps a **per-host ledger** of which content keys each worker
+  has pinned (it lives on the host client, so a DEAD host's ledger dies
+  with its client and a restarted worker is never assumed warm).
+* On first use of a matrix the head sends one ``store_put`` frame — the
+  CSR buffers plus their store key, CRC-checked like any v2 payload —
+  and the worker pins the bytes in its :class:`PinnedStore`.
+* Every subsequent task frame for that matrix carries **only the key**;
+  dense operands are likewise content-keyed, so the N shards of one
+  request ship the A/B panels to a host once, not N times.
+* A worker that evicted (or never had) a key answers ``store_miss``,
+  which the head treats like a transient transport failure: re-push and
+  resend under the retry budget, falling back to a task with embedded
+  operands as the last resort — a cold or undersized store costs bytes,
+  never a failed request.
+
+The :class:`PinnedStore` itself is a byte-budgeted LRU: entries are
+evicted oldest-first once ``pinned_bytes`` exceeds the budget, except
+entries whose **refcount** is held by an in-flight task — those are never
+evicted, even if that leaves the store temporarily over budget.  Gauges
+(pinned bytes, entry count, put/hit/miss/eviction counters) travel in
+every status and pong frame, and the pong additionally reports the full
+key inventory so a readmitted host's ledger can be re-warmed from what
+the worker actually still holds.
+
+Store keys carry a **version** component from day one
+(``csr/<digest>@<version>``): the dynamic-graph roadmap item mutates
+matrices in place, and bumping the version is how a delta-translated
+matrix invalidates every pinned copy cluster-wide without a new digest
+scheme.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+#: Default worker-side pin budget.  Sized so a handful of mid-sized serving
+#: matrices stay resident; override per worker with ``--store-bytes`` /
+#: ``ClusterScheduler(store_bytes=...)``.
+DEFAULT_STORE_BYTES = 256 * 1024 * 1024
+
+
+def make_store_key(kind: str, digest: str, version: int = 0) -> str:
+    """Compose a store key: ``<kind>/<digest>@<version>``.
+
+    ``kind`` namespaces CSR bundles apart from dense operand panels;
+    ``version`` is the cluster-wide invalidation hook — re-keying a
+    mutated matrix is a version bump, not a digest change, so delta
+    updates (ROADMAP: dynamic graphs) can invalidate every host's pinned
+    copy without rehashing content.
+    """
+    return f"{kind}/{digest}@{int(version)}"
+
+
+def csr_store_key(content_key: str, version: int = 0) -> str:
+    """Store key for a CSR bundle (indptr/indices/data) by content key."""
+    return make_store_key("csr", content_key, version)
+
+
+def operand_store_key(array: np.ndarray, version: int = 0) -> str:
+    """Store key for one dense operand panel, by content.
+
+    Hashing the panel once per request is how N shards on one host ship
+    it once: every shard task references this key, and repeat requests
+    with byte-identical operands deduplicate across requests too.
+    """
+    array = np.ascontiguousarray(array)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(f"{array.dtype.str}:{array.shape}".encode())
+    digest.update(memoryview(array).cast("B"))
+    return make_store_key("op", digest.hexdigest(), version)
+
+
+class StoreMissError(RuntimeError):
+    """A task referenced store keys the worker does not hold.
+
+    Carries the complete ``missing`` key list so the head re-pushes
+    everything in one round trip.  On the wire this is the ``store_miss``
+    reply frame; the head treats it like a transient transport failure
+    (re-push under the retry budget, embedded-operand fallback as the
+    last resort), so it never surfaces as a failed request.
+    """
+
+    def __init__(self, missing):
+        self.missing = list(missing)
+        super().__init__(f"store miss for {len(self.missing)} key(s): {self.missing}")
+
+
+class _Entry:
+    __slots__ = ("arrays", "nbytes", "refcount")
+
+    def __init__(self, arrays: list[np.ndarray], nbytes: int):
+        self.arrays = arrays
+        self.nbytes = nbytes
+        self.refcount = 0
+
+
+class PinnedStore:
+    """Byte-budgeted, refcounted LRU store of pinned ndarray bundles.
+
+    One entry is one store key mapping to a list of arrays (three for a
+    CSR bundle, one for a dense operand panel).  ``put`` pins a bundle and
+    evicts least-recently-used zero-refcount entries until the store is
+    back under ``budget_bytes``; entries whose refcount is held (an
+    in-flight task is computing on them) are **skipped** by eviction, so
+    the store may sit over budget while such a task runs — correctness
+    over budget exactness.  A bundle larger than the whole budget is still
+    pinned (everything else evictable goes); it simply becomes the next
+    eviction candidate once unreferenced.
+
+    Thread-safe: the worker host is single-threaded today, but the store
+    is lock-guarded so nothing breaks when worker-side concurrency lands.
+    """
+
+    def __init__(self, budget_bytes: int = DEFAULT_STORE_BYTES):
+        if budget_bytes < 0:
+            raise ValueError("budget_bytes must be >= 0")
+        self.budget_bytes = int(budget_bytes)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._pinned_bytes = 0
+        self._puts = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------- mutation
+    def put(self, key: str, arrays) -> list[str]:
+        """Pin ``arrays`` under ``key``; returns the keys evicted to fit.
+
+        Re-putting an existing key replaces its bundle in place (keeping
+        its refcount — an in-flight task holding the old arrays keeps
+        them alive through its own references).
+        """
+        arrays = [np.ascontiguousarray(a) for a in arrays]
+        nbytes = sum(a.nbytes for a in arrays)
+        with self._lock:
+            self._puts += 1
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._pinned_bytes += nbytes - entry.nbytes
+                entry.arrays, entry.nbytes = arrays, nbytes
+                self._entries.move_to_end(key)
+            else:
+                self._entries[key] = _Entry(arrays, nbytes)
+                self._pinned_bytes += nbytes
+            return self._evict_to_budget(keep=key)
+
+    def _evict_to_budget(self, keep: str) -> list[str]:
+        """Evict LRU zero-refcount entries (never ``keep``) until within
+        budget; called under the lock."""
+        evicted: list[str] = []
+        while self._pinned_bytes > self.budget_bytes:
+            victim = next(
+                (
+                    k
+                    for k, e in self._entries.items()
+                    if k != keep and e.refcount == 0
+                ),
+                None,
+            )
+            if victim is None:
+                break  # everything left is in use (or the fresh key): stay over budget
+            entry = self._entries.pop(victim)
+            self._pinned_bytes -= entry.nbytes
+            self._evictions += 1
+            evicted.append(victim)
+        return evicted
+
+    def acquire(self, *keys: str) -> list[list[np.ndarray]]:
+        """Resolve ``keys`` and take one refcount on each (MRU-touching).
+
+        Raises :class:`StoreMissError` naming **every** missing key — and
+        takes no refcounts — so the head re-pushes the full set in one
+        round instead of discovering misses one by one.
+        """
+        with self._lock:
+            missing = [k for k in keys if k not in self._entries]
+            if missing:
+                self._misses += len(missing)
+                self._hits += len(keys) - len(missing)
+                raise StoreMissError(missing)
+            bundles = []
+            for key in keys:
+                entry = self._entries[key]
+                entry.refcount += 1
+                self._entries.move_to_end(key)
+                bundles.append(entry.arrays)
+            self._hits += len(keys)
+            return bundles
+
+    def release(self, *keys: str) -> None:
+        """Drop one refcount per key (missing keys are ignored: the entry
+        may have been replaced while the task ran)."""
+        with self._lock:
+            for key in keys:
+                entry = self._entries.get(key)
+                if entry is not None and entry.refcount > 0:
+                    entry.refcount -= 1
+
+    # -------------------------------------------------------------- queries
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> list[str]:
+        """Pinned keys, LRU-first — the inventory a pong frame reports so
+        a readmitting head re-warms its ledger from ground truth."""
+        with self._lock:
+            return list(self._entries)
+
+    @property
+    def pinned_bytes(self) -> int:
+        with self._lock:
+            return self._pinned_bytes
+
+    def stats(self) -> dict:
+        """Gauges for status/pong frames (and the head's per-host view)."""
+        with self._lock:
+            return {
+                "pinned_bytes": self._pinned_bytes,
+                "budget_bytes": self.budget_bytes,
+                "entries": len(self._entries),
+                "puts": self._puts,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }

@@ -44,15 +44,30 @@ Protocol version 2 adds the **trusted data plane**:
   wrapping either side of the stream; the frame protocol (and the fault
   injection wrapper) layer on top unchanged.
 
+Protocol version 3 adds the **content-addressed store** (push/pin): the
+handshake negotiates the highest version both ends speak (``min`` of the
+two advertisements, never below :data:`MIN_VERSION`), and a v3 connection
+additionally carries the :mod:`repro.cluster.store` frames — a v3 head
+talking to a v2 worker simply keeps embedding operand bytes in every task
+frame, so mixed-version clusters work unchanged.
+
 Message types (the ``type`` header field) used by the cluster:
 
 * ``challenge`` / ``hello`` / ``welcome`` / ``reject``: the connection
   handshake (before anything else on a fresh stream),
-* ``task`` (head → worker): one window-aligned shard of one SpMM/SDDMM,
+* ``task`` (head → worker): one window-aligned shard of one SpMM/SDDMM —
+  with the CSR + dense operand buffers embedded (v2), or referencing
+  pinned store keys with no payload at all (v3),
+* ``store_put`` / ``store_ack`` (v3): pin a content-keyed buffer bundle
+  on the worker / confirm it,
+* ``store_miss`` (v3, worker → head): a task referenced keys the worker
+  does not hold (evicted, or a restarted process) — the head re-pushes
+  and resends,
 * ``result`` / ``error`` (worker → head): the shard's output or the remote
   failure (message + traceback text),
 * ``ping`` / ``pong``: heartbeat probes; the pong carries the worker's
-  translation-cache and security counters,
+  translation-cache, pinned-store and security counters (plus the store's
+  key inventory, which re-warms a readmitting head's ledger),
 * ``shutdown`` (head → worker): drain and exit.
 """
 
@@ -75,12 +90,16 @@ _PREFIX = struct.Struct("!4sBBI")
 _BUF_LEN = struct.Struct("!Q")
 
 MAGIC = b"FSRP"
-#: Wire protocol version this end speaks (v2 = checksummed + handshake).
-VERSION = 2
+#: Highest wire protocol version this end speaks (v2 = checksummed +
+#: handshake; v3 = content-addressed store push/pin frames).
+VERSION = 3
+#: Lowest version this end will negotiate down to: v2 is the floor —
+#: payload checksums and the authenticated handshake are not optional.
+MIN_VERSION = 2
 #: Prefix versions the parser will read at all.  v1 frames are accepted
 #: only so the handshake can answer a legacy peer with a structured
-#: reject it can parse; every post-handshake frame is v2.
-SUPPORTED_VERSIONS = frozenset({1, 2})
+#: reject it can parse; every post-handshake frame is v2 or v3.
+SUPPORTED_VERSIONS = frozenset({1, 2, 3})
 
 #: Sanity bounds — a corrupt or hostile prefix must not trigger a huge
 #: allocation before the magic/shape checks can reject it.
@@ -405,17 +424,23 @@ def _send_reject(sock, peer_version: int, reason: str, message: str) -> int:
         return 0
 
 
-def client_handshake(sock, auth_token: str | None = None) -> tuple[int, int]:
+def client_handshake(
+    sock, auth_token: str | None = None, max_version: int = VERSION
+) -> tuple[int, int, int]:
     """Authenticate a fresh connection from the client (head) side.
 
-    Reads the server's CHALLENGE, answers with a HELLO carrying this end's
-    protocol version and (when ``auth_token`` is set) the HMAC-SHA256 of
-    the challenge nonce, then waits for the WELCOME.  Returns the
-    ``(bytes_sent, bytes_received)`` the exchange cost, for transport
-    accounting.  Raises :class:`AuthenticationError` /
-    :class:`VersionMismatchError` / :class:`HandshakeError` when the
-    server rejects us (structured reject frames map to the matching
-    exception).
+    Reads the server's CHALLENGE (which advertises the highest protocol
+    version the server speaks), answers with a HELLO carrying the
+    **negotiated** version — ``min(max_version, server's)`` — and (when
+    ``auth_token`` is set) the HMAC-SHA256 of the challenge nonce, then
+    waits for the WELCOME.  Returns
+    ``(bytes_sent, bytes_received, negotiated_version)``: the byte totals
+    feed transport accounting and the negotiated version tells the caller
+    which frames this connection may carry (store push/pin needs v3; a v2
+    peer gets task-embedded operands).  Raises
+    :class:`AuthenticationError` / :class:`VersionMismatchError` /
+    :class:`HandshakeError` when the server rejects us (structured reject
+    frames map to the matching exception).
     """
     sent = received = 0
     try:
@@ -428,19 +453,22 @@ def client_handshake(sock, auth_token: str | None = None) -> tuple[int, int]:
         _raise_reject(header)
     if kind != "challenge":
         raise HandshakeError(f"expected a challenge frame, got {kind!r}")
-    version = int(header.get("version") or 0)
-    if version != VERSION:
+    version = min(int(header.get("version") or 0), int(max_version))
+    if version < MIN_VERSION:
         raise VersionMismatchError(
-            f"server speaks protocol version {version}, this end speaks {VERSION}"
+            f"server speaks protocol version {header.get('version')}, below "
+            f"this end's floor v{MIN_VERSION}"
         )
     if auth_token is None and header.get("auth_required"):
         raise AuthenticationError(
             "server requires an auth token and none is configured on this end"
         )
-    hello = {"type": "hello", "version": VERSION}
+    hello = {"type": "hello", "version": version}
     if auth_token is not None:
         hello["auth"] = _auth_digest(auth_token, str(header.get("nonce", "")))
-    sent += send_message(sock, hello)
+    # The hello (and everything after) is written in the negotiated wire
+    # version, so a v2-only server never sees a prefix byte it can't parse.
+    sent += send_message(sock, hello, version=version)
     try:
         header, _, n = recv_message(sock, max_frame_bytes=HANDSHAKE_MAX_BYTES)
     except TransportError as exc:
@@ -450,30 +478,37 @@ def client_handshake(sock, auth_token: str | None = None) -> tuple[int, int]:
         _raise_reject(header)
     if header.get("type") != "welcome":
         raise HandshakeError(f"expected a welcome frame, got {header.get('type')!r}")
-    return sent, received
+    return sent, received, version
 
 
-def server_handshake(sock, auth_token: str | None = None) -> tuple[int, int]:
+def server_handshake(
+    sock, auth_token: str | None = None, max_version: int = VERSION
+) -> tuple[int, int, int]:
     """Authenticate a fresh connection from the server (worker) side.
 
-    Sends the CHALLENGE (protocol version + a random nonce), validates the
-    peer's HELLO — frame shape, protocol version, and (when ``auth_token``
-    is set) a constant-time comparison of the HMAC digest — and answers
-    WELCOME.  A failing peer gets a structured REJECT written in *its*
-    prefix version (so a VERSION=1 peer reads a parseable frame, not a
-    hang) before the matching exception is raised to the caller, which
-    should drop the connection and keep accepting.  Returns
-    ``(bytes_sent, bytes_received)``.
+    Sends the CHALLENGE (the highest protocol version this end speaks + a
+    random nonce), validates the peer's HELLO — frame shape, a negotiated
+    protocol version within ``[MIN_VERSION, max_version]``, and (when
+    ``auth_token`` is set) a constant-time comparison of the HMAC digest —
+    and answers WELCOME in the negotiated wire version.  A failing peer
+    gets a structured REJECT written in *its* prefix version (so a
+    VERSION=1 peer reads a parseable frame, not a hang) before the
+    matching exception is raised to the caller, which should drop the
+    connection and keep accepting.  Returns
+    ``(bytes_sent, bytes_received, negotiated_version)``.
     """
     nonce = secrets.token_hex(16)
+    # The challenge is written at the v2 floor so a legacy v2-only peer can
+    # parse it and negotiate down; the body advertises the real maximum.
     sent = send_message(
         sock,
         {
             "type": "challenge",
-            "version": VERSION,
+            "version": int(max_version),
             "nonce": nonce,
             "auth_required": auth_token is not None,
         },
+        version=MIN_VERSION,
     )
     received = 0
     try:
@@ -492,15 +527,17 @@ def server_handshake(sock, auth_token: str | None = None) -> tuple[int, int]:
         )
         raise HandshakeError(f"peer opened with {header.get('type')!r}, not hello")
     hello_version = int(header.get("version") or peer_version or 0)
-    if hello_version != VERSION:
+    if hello_version < MIN_VERSION or hello_version > int(max_version):
         sent += _send_reject(
             sock,
             peer_version,
             "version",
-            f"peer speaks protocol version {hello_version}, this end speaks {VERSION}",
+            f"peer negotiated protocol version {hello_version}, this end "
+            f"speaks {MIN_VERSION}..{int(max_version)}",
         )
         raise VersionMismatchError(
-            f"peer speaks protocol version {hello_version}, this end speaks {VERSION}"
+            f"peer negotiated protocol version {hello_version}, this end "
+            f"speaks {MIN_VERSION}..{int(max_version)}"
         )
     if auth_token is not None:
         digest = header.get("auth")
@@ -511,8 +548,10 @@ def server_handshake(sock, auth_token: str | None = None) -> tuple[int, int]:
                 sock, peer_version, "auth", "missing or invalid auth digest"
             )
             raise AuthenticationError("peer presented a missing or invalid auth digest")
-    sent += send_message(sock, {"type": "welcome", "version": VERSION})
-    return sent, received
+    sent += send_message(
+        sock, {"type": "welcome", "version": hello_version}, version=hello_version
+    )
+    return sent, received, hello_version
 
 
 # ----------------------------------------------------------------------- TLS

@@ -57,7 +57,9 @@ from dataclasses import asdict
 
 import numpy as np
 
+from repro.cluster.store import DEFAULT_STORE_BYTES, PinnedStore, StoreMissError
 from repro.cluster.transport import (
+    VERSION,
     AuthenticationError,
     FrameIntegrityError,
     FrameTooLargeError,
@@ -97,8 +99,13 @@ class WorkerHost:
         cache_maxsize: int = FORMAT_CACHE_MAXSIZE,
         max_frame_bytes: int | None = None,
         auth_token: str | None = None,
+        store_bytes: int = DEFAULT_STORE_BYTES,
+        protocol_version: int | None = None,
     ):
         self.cache = TranslationCache(maxsize=cache_maxsize)
+        #: Content-addressed pin store (protocol v3): CSR bundles and dense
+        #: operand panels the head pushed once, referenced by key per task.
+        self.store = PinnedStore(budget_bytes=store_bytes)
         self.tasks_done = 0
         #: Per-connection bound on declared frame sizes (None = unbounded):
         #: a hostile or corrupt frame cannot make the worker allocate
@@ -106,6 +113,10 @@ class WorkerHost:
         self.max_frame_bytes = max_frame_bytes
         #: Shared secret gating the connection handshake (None = open).
         self.auth_token = auth_token
+        #: Highest wire version this host advertises (None = the library's
+        #: VERSION).  Pinning it at 2 simulates a legacy host: the head
+        #: negotiates down and embeds operand bytes in every task frame.
+        self.protocol_version = VERSION if protocol_version is None else int(protocol_version)
         self.frames_oversized = 0
         #: Inbound frames whose payload CRC32 failed verification.
         self.integrity_failures = 0
@@ -114,11 +125,15 @@ class WorkerHost:
         #: Handshakes dropped for any non-auth reason (version mismatch,
         #: protocol garbage, TLS failure) — disjoint from auth_rejects.
         self.handshake_failures = 0
+        #: Wire version negotiated on the connection being served (the host
+        #: serves one head connection at a time).
+        self.wire_version = self.protocol_version
 
     # --------------------------------------------------------------- helpers
     def _status(self) -> dict:
         return {
             "cache": asdict(self.cache.stats()),
+            "store": self.store.stats(),
             "tasks_done": self.tasks_done,
             "frames_oversized": self.frames_oversized,
             "security": {
@@ -133,10 +148,10 @@ class WorkerHost:
             indptr=indptr, indices=indices, data=data, shape=tuple(header["shape"])
         )
         if header.get("content_key"):
-            # Pre-seed the instance's content-key memo with the digest the
-            # head already computed over these exact bytes: the cache's
-            # content lookup then skips the per-task O(nnz) rehash.
-            csr._content_key = header["content_key"]
+            # Adopt the digest the head already computed over these exact
+            # bytes: the cache's content lookup then skips the per-task
+            # O(nnz) rehash.
+            csr.with_content_key(header["content_key"])
         translate = _TRANSLATORS.get(header.get("fmt", "mebcrs"))
         if translate is None:
             raise ValueError(f"unknown format kind {header.get('fmt')!r}")
@@ -144,9 +159,34 @@ class WorkerHost:
         fmt = translate(csr, precision, by_content=True, cache=self.cache)
         return fmt, precision
 
+    def _resolve_payload(self, header: dict, arrays: list) -> tuple[list, tuple]:
+        """The task's operand arrays, from the frame or the pin store.
+
+        A v3 task frame carries no payload: ``store_csr`` names the pinned
+        CSR bundle and ``store_operands`` the pinned dense panels, in the
+        exact positional order the embedded layout uses — so the kernels
+        downstream cannot tell the difference.  Returns the payload plus
+        the acquired store keys (refcounted: eviction cannot pull a buffer
+        out from under this task; the caller releases them when done).
+        Raises :class:`StoreMissError` naming every absent key when the
+        store no longer holds the referenced bytes.
+        """
+        if not header.get("store_csr"):
+            return list(arrays), ()
+        keys = (header["store_csr"], *header.get("store_operands", ()))
+        bundles = self.store.acquire(*keys)
+        return [array for bundle in bundles for array in bundle], keys
+
     # ------------------------------------------------------------ task bodies
     def run_task(self, header: dict, arrays: list[np.ndarray]) -> tuple[dict, list]:
         """Execute one shard task; returns the reply ``(header, arrays)``."""
+        arrays, acquired = self._resolve_payload(header, arrays)
+        try:
+            return self._run_task_body(header, arrays)
+        finally:
+            self.store.release(*acquired)
+
+    def _run_task_body(self, header: dict, arrays: list) -> tuple[dict, list]:
         delay = float(header.get("delay_s") or 0.0)
         if delay > 0.0:  # failure-injection hook for the kill-mid-shard tests
             time.sleep(delay)
@@ -201,7 +241,9 @@ class WorkerHost:
         else (version mismatch, protocol garbage, stream loss).
         """
         try:
-            server_handshake(conn, auth_token=self.auth_token)
+            *_, self.wire_version = server_handshake(
+                conn, auth_token=self.auth_token, max_version=self.protocol_version
+            )
             return True
         except AuthenticationError:
             self.auth_rejects += 1
@@ -238,18 +280,61 @@ class WorkerHost:
             except (TransportError, OSError):
                 return False  # head went away: back to accept
             kind = header.get("type")
+            wire = self.wire_version
             try:
                 if kind == "ping":
-                    send_message(conn, {"type": "pong", **self._status()})
+                    # The pong carries the pin store's key inventory on top
+                    # of the usual gauges: a readmitting head re-warms its
+                    # per-host ledger from this ground truth instead of
+                    # assuming a restarted process is still warm.
+                    send_message(
+                        conn,
+                        {
+                            "type": "pong",
+                            "store_keys": self.store.keys(),
+                            **self._status(),
+                        },
+                        version=wire,
+                    )
                 elif kind == "shutdown":
                     try:
-                        send_message(conn, {"type": "bye", **self._status()})
+                        send_message(conn, {"type": "bye", **self._status()}, version=wire)
                     except (TransportError, OSError):
                         pass
                     return True
+                elif kind == "store_put":
+                    # Pin the pushed bundle (evicting LRU zero-ref entries
+                    # over budget) and acknowledge with fresh store gauges.
+                    # The ack names what got evicted so the head's ledger
+                    # stays truthful without waiting for a store_miss.
+                    evicted = self.store.put(str(header["store_key"]), arrays)
+                    send_message(
+                        conn,
+                        {
+                            "type": "store_ack",
+                            "store_key": header["store_key"],
+                            "evicted": evicted,
+                            **self._status(),
+                        },
+                        version=wire,
+                    )
                 elif kind == "task":
                     try:
                         reply, payload = self.run_task(header, arrays)
+                    except StoreMissError as exc:
+                        # The task referenced keys this store no longer
+                        # holds (evicted, or a restarted process).  Not a
+                        # failure: the head re-pushes and resends.
+                        send_message(
+                            conn,
+                            {
+                                "type": "store_miss",
+                                "task_id": header.get("task_id"),
+                                "missing": exc.missing,
+                                **self._status(),
+                            },
+                            version=wire,
+                        )
                     except Exception as exc:  # computation error: report, stay up
                         send_message(
                             conn,
@@ -260,13 +345,15 @@ class WorkerHost:
                                 "traceback": traceback.format_exc(),
                                 **self._status(),
                             },
+                            version=wire,
                         )
                     else:
-                        send_message(conn, reply, payload)
+                        send_message(conn, reply, payload, version=wire)
                 else:
                     send_message(
                         conn,
                         {"type": "error", "message": f"unknown message type {kind!r}"},
+                        version=wire,
                     )
             except (TransportError, OSError):
                 return False  # reply undeliverable: back to accept
@@ -284,6 +371,8 @@ def run_worker(
     tls_key: str | None = None,
     tls_ca: str | None = None,
     handshake_timeout_s: float = DEFAULT_HANDSHAKE_TIMEOUT_S,
+    store_bytes: int = DEFAULT_STORE_BYTES,
+    protocol_version: int | None = None,
 ) -> None:
     """Bind, announce the bound address, and serve until told to shut down.
 
@@ -301,11 +390,18 @@ def run_worker(
     too).  Every accepted connection must clear TLS + the handshake within
     ``handshake_timeout_s`` — a peer that stalls there is dropped without
     blocking the accept loop for anyone else.
+
+    ``store_bytes`` budgets the pin store (protocol v3 push/pin);
+    ``protocol_version`` caps the wire version this host advertises —
+    pinning it at 2 makes the host behave as a legacy peer, which the
+    mixed-version tests use.
     """
     state = WorkerHost(
         cache_maxsize=cache_maxsize,
         max_frame_bytes=max_frame_bytes,
         auth_token=auth_token,
+        store_bytes=store_bytes,
+        protocol_version=protocol_version,
     )
     ssl_context = (
         make_server_ssl_context(tls_cert, tls_key, cafile=tls_ca)
@@ -369,6 +465,18 @@ def main(argv=None) -> None:  # pragma: no cover - thin CLI wrapper
         help="reject frames declaring more than this many bytes (default: unbounded)",
     )
     parser.add_argument(
+        "--store-bytes",
+        type=int,
+        default=DEFAULT_STORE_BYTES,
+        help="pin-store budget for pushed matrix bytes (protocol v3 push/pin)",
+    )
+    parser.add_argument(
+        "--protocol-version",
+        type=int,
+        default=None,
+        help="cap the advertised wire version (e.g. 2 to act as a legacy host)",
+    )
+    parser.add_argument(
         "--auth-token",
         default=os.environ.get(AUTH_TOKEN_ENV),
         help=(
@@ -398,6 +506,8 @@ def main(argv=None) -> None:  # pragma: no cover - thin CLI wrapper
         tls_cert=args.tls_cert,
         tls_key=args.tls_key,
         tls_ca=args.tls_ca,
+        store_bytes=args.store_bytes,
+        protocol_version=args.protocol_version,
     )
 
 

@@ -163,6 +163,19 @@ class CSRMatrix:
             self._content_key = cached
         return cached
 
+    def with_content_key(self, key: str) -> "CSRMatrix":
+        """Adopt a precomputed content key; returns ``self`` for chaining.
+
+        The cluster worker rebuilds matrices from head-shipped buffers and
+        the head already hashed those exact bytes — adopting its digest
+        skips the per-task O(nnz) rehash in :meth:`content_key`.  The
+        caller vouches that ``key`` was computed over this content; a
+        wrong key aliases cache entries exactly like a hash collision
+        would.
+        """
+        self._content_key = str(key)
+        return self
+
     def memory_footprint_bytes(self, value_bytes: int = 4, index_bytes: int = 4) -> int:
         """Bytes needed to store the CSR arrays."""
         return int(

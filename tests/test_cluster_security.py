@@ -83,7 +83,8 @@ def _pair():
 
 def _handshake_pair(client_token, server_token):
     """Run both handshake sides over a socketpair; returns (client, server)
-    outcomes — a (sent, received) tuple on success, the exception on failure."""
+    outcomes — a (sent, received, negotiated_version) tuple on success, the
+    exception on failure."""
     a, b = _pair()
     out = {}
 
@@ -112,12 +113,14 @@ def _handshake_pair(client_token, server_token):
 # ---------------------------------------------------------------- handshake
 def test_handshake_happy_path_counts_bytes():
     client, server = _handshake_pair(TOKEN, TOKEN)
-    c_sent, c_received = client
-    s_sent, s_received = server
+    c_sent, c_received, c_version = client
+    s_sent, s_received, s_version = server
     assert c_sent > 0 and c_received > 0
     # Byte totals mirror each other exactly: what one side sent, the
     # other received — the reconciliation the accounting satellite needs.
     assert (c_sent, c_received) == (s_received, s_sent)
+    # Both ends agree on the negotiated wire version (here: both current).
+    assert c_version == s_version == VERSION
 
 
 def test_handshake_open_mode_without_token():
@@ -421,11 +424,13 @@ def test_corrupted_result_frame_recovers_bit_identically():
 
 
 def test_corrupted_task_frame_detected_by_worker_and_recovered():
-    """The other direction: a task frame corrupted head→worker is caught by
+    """The other direction: a frame corrupted head→worker is caught by
     the worker's CRC check (never computed on), costs the connection, and
-    the head's resend completes the request exactly."""
+    the head's resend completes the request exactly.  Under protocol v3
+    the operand bytes travel in ``store_put`` frames (task frames carry
+    keys only), so that is where the corruption is seeded."""
     csr, fmt, _, _, b_q, base, _ = _workload(seed=27)
-    plan = FaultPlan(seed=5).corrupt_payload(nth=1, type="task")
+    plan = FaultPlan(seed=5).corrupt_payload(nth=1, type="store_put")
     with ClusterScheduler(
         hosts=2,
         fault_plan=plan,

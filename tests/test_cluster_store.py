@@ -1,0 +1,351 @@
+"""Matrix push/pin (protocol v3): PinnedStore semantics + cluster recovery.
+
+The store's contract, end to end:
+
+* keys are content-addressed with a version component (the dynamic-graph
+  invalidation hook) and namespaced by kind (CSR bundle vs. operand panel);
+* the worker-side :class:`PinnedStore` is a byte-budgeted LRU whose
+  eviction never touches an entry an in-flight task holds a refcount on;
+* repeat cluster traffic ships a matrix's CSR buffers at most once per
+  (host, content key) — task frames carry keys, not bytes;
+* every degraded mode — eviction under a tiny budget, ``store_miss``,
+  transport faults on the push itself, host failover, readmission — costs
+  bytes or a retry, never a failed request, and results stay
+  **bit-identical** to the single-host oracle;
+* legacy v2 peers keep working with task-embedded operands after version
+  negotiation, including inside a mixed-version cluster.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+
+import numpy as np
+import pytest
+
+from helpers import random_csr
+
+from repro.cluster import ClusterScheduler, RetryPolicy
+from repro.cluster.head import spawn_local_host
+from repro.cluster.membership import HostHealth
+from repro.cluster.store import (
+    PinnedStore,
+    StoreMissError,
+    csr_store_key,
+    make_store_key,
+    operand_store_key,
+)
+from repro.formats.mebcrs import MEBCRSMatrix
+from repro.precision.types import Precision, quantize
+from repro.serve.scheduler import ShardScheduler
+from repro.testing import FaultPlan
+
+TIMEOUT = 120
+
+
+def _workload(seed=70, n=13, rows=200, cols=180, density=0.06):
+    csr = random_csr(rows, cols, density, seed=seed)
+    fmt = MEBCRSMatrix.from_csr(csr, precision="fp16")
+    rng = np.random.default_rng(seed)
+    b_q = quantize(rng.standard_normal((cols, n)), Precision.FP16).astype(np.float32)
+    base = ShardScheduler(workers=1).run_spmm(fmt, b_q, Precision.FP16)
+    return csr, fmt, b_q, base
+
+
+def _fork_ctx():
+    return mp.get_context("fork" if "fork" in mp.get_all_start_methods() else None)
+
+
+def _reap(process):
+    if process.is_alive():
+        process.terminate()
+    process.join(10)
+
+
+def _arr(value, length=10):
+    return np.full(length, value, dtype=np.float64)  # 80 bytes per array
+
+
+# ------------------------------------------------------------------ key schema
+def test_store_key_schema_carries_version():
+    assert make_store_key("csr", "abc", 0) == "csr/abc@0"
+    assert csr_store_key("abc") == "csr/abc@0"
+    # The version component is the cluster-wide invalidation hook: bumping
+    # it re-keys the content without a new digest scheme.
+    assert csr_store_key("abc", version=3) == "csr/abc@3"
+    assert csr_store_key("abc", version=3) != csr_store_key("abc")
+
+
+def test_operand_store_key_is_content_addressed():
+    a = np.arange(12, dtype=np.float32)
+    same = np.arange(12, dtype=np.float32)
+    assert operand_store_key(a) == operand_store_key(same)
+    assert operand_store_key(a).startswith("op/")
+    # Content, dtype, shape and version all distinguish keys.
+    assert operand_store_key(a) != operand_store_key(a + 1)
+    assert operand_store_key(a) != operand_store_key(a.astype(np.float64))
+    assert operand_store_key(a) != operand_store_key(a.reshape(3, 4))
+    assert operand_store_key(a) != operand_store_key(a, version=1)
+
+
+# ----------------------------------------------------------------- PinnedStore
+def test_budget_overflow_evicts_lru_first():
+    store = PinnedStore(budget_bytes=200)  # room for two 80-byte entries
+    assert store.put("a", [_arr(1)]) == []
+    assert store.put("b", [_arr(2)]) == []
+    # Touch "a": it becomes MRU, so the next overflow evicts "b" first.
+    store.acquire("a")
+    store.release("a")
+    assert store.put("c", [_arr(3)]) == ["b"]
+    assert store.keys() == ["a", "c"]
+    # Another overflow now takes "a" (LRU again after "c"'s arrival order
+    # is accounted): strict least-recently-used order, oldest first.
+    assert store.put("d", [_arr(4)]) == ["a"]
+    assert store.keys() == ["c", "d"]
+    stats = store.stats()
+    assert stats["evictions"] == 2
+    assert stats["pinned_bytes"] <= 200
+
+
+def test_refcount_blocks_eviction_until_release():
+    store = PinnedStore(budget_bytes=100)  # room for one entry
+    store.put("held", [_arr(1)])
+    bundles = store.acquire("held")
+    np.testing.assert_array_equal(bundles[0][0], _arr(1))
+    # Overflow while "held" is referenced: the store goes over budget
+    # rather than pulling the buffer out from under the in-flight task.
+    assert store.put("other", [_arr(2)]) == []
+    assert "held" in store and "other" in store
+    assert store.pinned_bytes > store.budget_bytes
+    # Once released, the next put reclaims it.
+    store.release("held")
+    assert store.put("third", [_arr(3)]) == ["held", "other"]
+    assert store.keys() == ["third"]
+
+
+def test_acquire_miss_names_all_missing_and_takes_no_refcounts():
+    store = PinnedStore(budget_bytes=1000)
+    store.put("present", [_arr(1)])
+    with pytest.raises(StoreMissError) as err:
+        store.acquire("present", "gone-1", "gone-2")
+    # Every missing key in one error, so the head re-pushes the full set
+    # in one round instead of discovering misses one at a time.
+    assert err.value.missing == ["gone-1", "gone-2"]
+    # The failed acquire took no refcount on the present key: it is still
+    # evictable (the all-or-nothing contract).
+    store.put("big", [_arr(2, length=200)])
+    assert "present" not in store
+
+
+def test_put_replaces_in_place_keeping_refcount():
+    store = PinnedStore(budget_bytes=1000)
+    store.put("k", [_arr(1)])
+    old = store.acquire("k")[0][0]
+    store.put("k", [_arr(9)])  # replace while referenced
+    np.testing.assert_array_equal(old, _arr(1))  # the task's view is stable
+    np.testing.assert_array_equal(store.acquire("k")[0][0], _arr(9))
+    store.release("k", "k")
+    # Still one entry; the refcount survived the replacement, so the entry
+    # was never evictable mid-flight.
+    assert len(store) == 1
+
+
+# ----------------------------------------------------------- wire-level saving
+def test_repeat_traffic_ships_matrix_bytes_once_per_host():
+    csr, fmt, b_q, base = _workload(seed=71)
+    key = csr.content_key()
+    with ClusterScheduler(hosts=1, speculation_delay_s=None) as sched:
+        for _ in range(3):
+            out = sched.run_spmm(fmt, b_q, Precision.FP16, target_blocks=7, csr=csr, content_key=key)
+            np.testing.assert_array_equal(out, base)
+        snap = sched.stats_snapshot()
+    # One push per (host, key): the CSR bundle and the dense panel each
+    # crossed the wire exactly once, every later reference was a ledger hit.
+    assert snap["store_puts"] == 2
+    assert snap["store_hits"] > 0
+    assert snap["store_misses"] == 0
+    assert snap["bytes_saved"] > 0
+    assert snap["task_failures"] == 0
+    # Split byte accounting: pushed bytes live under their own frame type,
+    # and the (many) task frames collectively stay below the single push —
+    # they carry keys, not operand buffers.
+    by_type = snap["bytes_by_frame_type"]
+    assert by_type["store_put"]["sent"] > 0
+    assert by_type["task"]["sent"] < by_type["store_put"]["sent"]
+    # The worker-reported gauges travel back in status frames.
+    host_entry = next(iter(snap["hosts"].values()))
+    assert host_entry["store"]["pinned_bytes"] > 0
+    assert host_entry["store"]["entries"] == 2
+    assert host_entry["store_puts"] == 2
+
+
+def test_tiny_budget_store_miss_falls_back_without_failures():
+    """A budget smaller than one bundle thrashes: push evicts push, tasks
+    answer ``store_miss``, and after the bounded re-push budget the head
+    embeds the operands — bytes are lost, the request never is."""
+    csr, fmt, b_q, base = _workload(seed=72)
+    with ClusterScheduler(
+        hosts=2,
+        store_bytes=1,
+        retry_policy=RetryPolicy(max_attempts=2, base_delay_s=0.01, seed=2),
+        speculation_delay_s=None,
+    ) as sched:
+        out = sched.run_spmm(fmt, b_q, Precision.FP16, target_blocks=7, csr=csr)
+        np.testing.assert_array_equal(out, base)
+        snap = sched.stats_snapshot()
+    assert snap["store_misses"] > 0
+    assert snap["task_failures"] == 0
+    assert snap["host_deaths"] == 0
+    # The misses are visible per host too.
+    assert any(h["store_misses"] > 0 for h in snap["hosts"].values())
+
+
+def test_store_put_transport_fault_recovers_and_stays_exact():
+    """A connection dropped mid-push (seeded via FaultPlan on the
+    ``store_put`` frame) rides the normal SUSPECT → re-dial → resend
+    machinery: the push repeats on the fresh connection."""
+    csr, fmt, b_q, base = _workload(seed=73)
+    key = csr.content_key()
+    plan = FaultPlan(seed=3)
+    with ClusterScheduler(
+        hosts=2,
+        fault_plan=plan,
+        retry_policy=RetryPolicy(seed=3),
+        speculation_delay_s=None,
+    ) as sched:
+        victim = sched.affinity_host(key)
+        plan.drop_connection(nth=1, type="store_put", scope=victim.host_id)
+        out = sched.run_spmm(fmt, b_q, Precision.FP16, target_blocks=7, csr=csr, content_key=key)
+        np.testing.assert_array_equal(out, base)
+        snap = sched.stats_snapshot()
+    assert plan.fired_kinds() == ["drop_connection"]
+    assert snap["reconnects"] >= 1
+    assert snap["task_failures"] == 0
+    assert snap["store_puts"] >= 2  # the interrupted push was re-sent
+
+
+def test_failover_after_push_re_pushes_to_fallback_host():
+    """Kill the affinity host after it was pushed to: the shards fail over
+    and the fallback host receives its own pushes (per-host ledgers), with
+    the result bit-identical throughout."""
+    csr, fmt, b_q, base = _workload(seed=74)
+    key = csr.content_key()
+    plan = FaultPlan(seed=4)
+    with ClusterScheduler(
+        hosts=2,
+        fault_plan=plan,
+        retry_policy=RetryPolicy(max_attempts=1, base_delay_s=0.01, seed=4),
+        speculation_delay_s=None,
+        auto_readmit=False,
+    ) as sched:
+        victim = sched.affinity_host(key)
+        survivor = next(h for h in sched.hosts if h.host_id != victim.host_id)
+        # Warm the victim: both bundles pushed there.
+        out = sched.run_spmm(fmt, b_q, Precision.FP16, target_blocks=7, csr=csr, content_key=key)
+        np.testing.assert_array_equal(out, base)
+        pushed_before = sched.stats_snapshot()["hosts"][victim.host_id]["store_puts"]
+        assert pushed_before == 2
+        # Kill it mid-request; the retry budget is exhausted by refusals.
+        plan.drop_connection(nth=1, type="task", scope=victim.host_id)
+        plan.refuse_connect(2, scope=victim.host_id)
+        out = sched.run_spmm(fmt, b_q, Precision.FP16, target_blocks=7, csr=csr, content_key=key)
+        np.testing.assert_array_equal(out, base)
+        snap = sched.stats_snapshot()
+    assert snap["host_deaths"] == 1
+    assert snap["failovers"] >= 1
+    # The fallback host got the bytes pushed to *it* before its tasks ran.
+    assert snap["hosts"][survivor.host_id]["store_puts"] == 2
+
+
+def test_readmission_rewarm_ledger_from_reported_inventory():
+    """A readmitted host's worker process survived the outage, so its
+    pinned store is still warm: the warm-up pong's key inventory re-warms
+    the head's ledger and repeat traffic needs **no** re-push."""
+    csr, fmt, b_q, base = _workload(seed=75)
+    key = csr.content_key()
+    plan = FaultPlan(seed=5)
+    with ClusterScheduler(
+        hosts=2,
+        fault_plan=plan,
+        retry_policy=RetryPolicy(max_attempts=1, base_delay_s=0.01, seed=5),
+        probe_interval_s=0.1,
+        speculation_delay_s=None,
+    ) as sched:
+        victim = sched.affinity_host(key)
+        out = sched.run_spmm(fmt, b_q, Precision.FP16, target_blocks=7, csr=csr, content_key=key)
+        np.testing.assert_array_equal(out, base)
+        assert sched.stats_snapshot()["hosts"][victim.host_id]["store_puts"] == 2
+        # Kill the connection; one backoff re-dial and one probe dial are
+        # refused, then the probe readmits.
+        plan.drop_connection(nth=1, type="task", scope=victim.host_id)
+        plan.refuse_connect(2, scope=victim.host_id)
+        out = sched.run_spmm(fmt, b_q, Precision.FP16, target_blocks=7, csr=csr, content_key=key)
+        np.testing.assert_array_equal(out, base)
+        deadline = time.monotonic() + TIMEOUT
+        while victim.state is not HostHealth.HEALTHY:
+            assert time.monotonic() < deadline, "probe never readmitted the host"
+            time.sleep(0.02)
+        assert sched.affinity_host(key).host_id == victim.host_id
+        hits_before = sched.stats_snapshot()["hosts"][victim.host_id]["store_hits"]
+        out = sched.run_spmm(fmt, b_q, Precision.FP16, target_blocks=7, csr=csr, content_key=key)
+        np.testing.assert_array_equal(out, base)
+        snap = sched.stats_snapshot()
+    entry = snap["hosts"][victim.host_id]
+    # No re-push after readmission: the ledger was re-warmed from the
+    # worker's reported inventory, so the repeat request was all hits.
+    assert entry["store_puts"] == 2
+    assert entry["store_hits"] > hits_before
+    assert snap["store_misses"] == 0
+
+
+# -------------------------------------------------------------- mixed versions
+def test_all_v2_cluster_embeds_operands_and_stays_exact():
+    csr, fmt, b_q, base = _workload(seed=76)
+    with ClusterScheduler(
+        hosts=2, worker_protocol_version=2, speculation_delay_s=None
+    ) as sched:
+        for _ in range(2):
+            out = sched.run_spmm(fmt, b_q, Precision.FP16, target_blocks=7, csr=csr)
+            np.testing.assert_array_equal(out, base)
+        assert all(h.client.wire_version == 2 for h in sched.hosts)
+        snap = sched.stats_snapshot()
+    # Negotiated down to v2: no pushes, no references — every task frame
+    # carried the operand bytes, exactly as before protocol v3.
+    assert snap["store_puts"] == 0
+    assert snap["store_hits"] == 0
+    assert "store_put" not in snap["bytes_by_frame_type"]
+    assert snap["task_failures"] == 0
+
+
+def test_mixed_version_cluster_v2_and_v3_hosts_coexist():
+    """One legacy (v2-capped) host joined to a v3 cluster: keys routed to
+    it are served with embedded operands, keys routed to the v3 host are
+    served by reference — both bit-identical, in the same cluster."""
+    ctx = _fork_ctx()
+    process, address = spawn_local_host(ctx, "legacy", protocol_version=2)
+    try:
+        with ClusterScheduler(hosts=1, speculation_delay_s=None) as sched:
+            legacy = sched.add_host(address)
+            assert legacy.client.wire_version == 2
+            modern = next(h for h in sched.hosts if h.host_id != legacy.host_id)
+            assert modern.client.wire_version == 3
+            # Find one workload routed to each host.
+            routed = {}
+            for seed in range(77, 99):
+                csr, fmt, b_q, base = _workload(seed=seed)
+                target = sched.affinity_host(csr.content_key()).host_id
+                routed.setdefault(target, (csr, fmt, b_q, base))
+                if len(routed) == 2:
+                    break
+            assert len(routed) == 2, "seeds never spread over both hosts"
+            for csr, fmt, b_q, base in routed.values():
+                out = sched.run_spmm(fmt, b_q, Precision.FP16, target_blocks=7, csr=csr)
+                np.testing.assert_array_equal(out, base)
+            snap = sched.stats_snapshot()
+        # The v3 host was pushed to; the legacy host never was.
+        assert snap["hosts"][modern.host_id]["store_puts"] == 2
+        assert snap["hosts"][legacy.host_id]["store_puts"] == 0
+        assert snap["task_failures"] == 0
+    finally:
+        _reap(process)
