@@ -102,15 +102,20 @@ from repro.cluster.transport import (
 )
 from repro.cluster.worker import run_worker
 from repro.formats.blocked import BlockedVectorFormat
+from repro.formats.cache import cached_mebcrs, cached_sgt16
 from repro.formats.csr import CSRMatrix
 from repro.formats.sgt16 import SGT16Matrix
 from repro.kernels.engine import (
+    layer_shard_rows,
+    layer_softmax_mapping,
     sddmm_a_window,
     sddmm_shard_values,
     spmm_shard_rows,
     window_aligned_ranges,
 )
+from repro.ops import segment_matmul, segment_softmax
 from repro.precision.types import Precision
+from repro.serve.program import LayerProgram, attention_csr, gather_edge_values
 
 #: Idle gap after which a host client probes its host with a ping.
 DEFAULT_HEARTBEAT_INTERVAL_S = 0.5
@@ -905,15 +910,22 @@ class ClusterScheduler:
             if not h.removed and h.state is HostHealth.DEAD and not h.client._stopping
         ]
 
-    def affinity_host(self, content_key: str) -> HostState | None:
+    def affinity_host(self, content_key: str, min_wire: int = 0) -> HostState | None:
         """The host that rendezvous routing assigns ``content_key``.
 
         Hosts in a preferred state (HEALTHY / RECOVERING) win; SUSPECT
         hosts are used only when no preferred host exists for the key, so
         routing does not flap on a sub-second blip but also does not pile
-        new work onto a host that is busy re-dialling.
+        new work onto a host that is busy re-dialling.  ``min_wire``
+        restricts the pool to hosts whose negotiated connection speaks at
+        least that protocol version — fused ``layer_task`` dispatch (and
+        its failover) must never hand a v4 frame to a v3 peer.
         """
-        candidates = {h.host_id: h for h in self._hosts_view() if h.accepting}
+        candidates = {
+            h.host_id: h
+            for h in self._hosts_view()
+            if h.accepting and h.client.wire_version >= min_wire
+        }
         if not candidates:
             return None
         preferred = {
@@ -926,12 +938,17 @@ class ClusterScheduler:
             return pool[host_id]
         return None  # pragma: no cover - pool is never empty here
 
-    def _speculation_target(self, content_key: str, exclude: str) -> HostState | None:
+    def _speculation_target(
+        self, content_key: str, exclude: str, min_wire: int = 0
+    ) -> HostState | None:
         """Backup host for a speculative duplicate (never the suspect one)."""
         pool = {
             h.host_id: h
             for h in self._hosts_view()
-            if h.host_id != exclude and h.accepting and h.state in PREFERRED_STATES
+            if h.host_id != exclude
+            and h.accepting
+            and h.state in PREFERRED_STATES
+            and h.client.wire_version >= min_wire
         }
         for host_id in rendezvous_rank(content_key, list(pool)):
             return pool[host_id]
@@ -1085,7 +1102,9 @@ class ClusterScheduler:
         shards = max(2, SHARDS_PER_HOST * max(1, len(self.hosts)))
         return max(1, -(-num_blocks // shards))
 
-    def _dispatch(self, tasks: list[dict], content_key: str, inline_body) -> list[list]:
+    def _dispatch(
+        self, tasks: list[dict], content_key: str, inline_body, min_wire: int = 0
+    ) -> list[list]:
         """Run shard ``tasks``, failing over dead hosts; returns per-task
         **lists** of ``(header, arrays)`` payloads — normally one, two when
         a speculative duplicate also answered (assembly suppresses the
@@ -1101,7 +1120,7 @@ class ClusterScheduler:
         pending = list(range(len(tasks)))
         first_attempt = True
         while pending:
-            target = self.affinity_host(content_key)
+            target = self.affinity_host(content_key, min_wire=min_wire)
             if target is None:
                 break  # no live host: in-parent fallback below
             if not first_attempt:
@@ -1119,7 +1138,9 @@ class ClusterScheduler:
                 submitted.append((index, task))
             still_pending = pending[len(submitted) :]
             for index, task in submitted:
-                payloads = self._collect(target, task, tasks[index], content_key)
+                payloads = self._collect(
+                    target, task, tasks[index], content_key, min_wire=min_wire
+                )
                 if payloads:
                     results[index] = payloads
                 else:
@@ -1132,7 +1153,12 @@ class ClusterScheduler:
         return [results[i] for i in range(len(tasks))]
 
     def _collect(
-        self, target: HostState, task: _Task, source: dict, content_key: str
+        self,
+        target: HostState,
+        task: _Task,
+        source: dict,
+        content_key: str,
+        min_wire: int = 0,
     ) -> list[tuple]:
         """Await one shard's result, speculating if its host turns SUSPECT.
 
@@ -1168,7 +1194,9 @@ class ClusterScheduler:
                 )
                 continue
             if target.client.state is HostHealth.SUSPECT:
-                backup = self._speculation_target(content_key, exclude=target.host_id)
+                backup = self._speculation_target(
+                    content_key, exclude=target.host_id, min_wire=min_wire
+                )
                 if backup is not None:
                     # The duplicate carries the same store plan: the backup
                     # host's client pushes whatever *its* ledger is missing
@@ -1376,3 +1404,258 @@ class ClusterScheduler:
                 assembly.add(i, arrays[0], arrays[1])
         self.metrics.record_duplicates_suppressed(assembly.duplicates_suppressed)
         return assembly.result()
+
+    # ------------------------------------------------------------ layer (v4)
+    def run_layer(
+        self,
+        fmt: BlockedVectorFormat,
+        indptr: np.ndarray,
+        a_q: np.ndarray,
+        b_q: np.ndarray,
+        x_q: np.ndarray,
+        precision: Precision,
+        group: int,
+        scale: float | None = None,
+        scale_by_mask: bool = False,
+        target_blocks: int | None = None,
+        csr: CSRMatrix | None = None,
+        content_key: str | None = None,
+    ) -> tuple[np.ndarray, dict]:
+        """One whole attention layer — SDDMM → scale → softmax → SpMM — in a
+        single cluster round trip per shard (protocol v4).
+
+        When the key's affinity host negotiated v4, every shard ships as
+        one ``layer_task`` frame: the CSR bundle and all three dense panels
+        ride the pinned store (so repeat layers over a pinned matrix ship
+        no operand bytes at all), the worker runs the fused engine hook on
+        its cached translation, and only the final dense rows come back —
+        the SDDMM intermediate and the per-evaluation attention matrix
+        never touch the wire.  A v3 affinity host gets the composed
+        fallback instead: the same three-kernel pipeline driven from the
+        head, bit-identical, just three round trips and the intermediate
+        traffic the fused path exists to avoid.
+
+        Returns ``(rows, stage_seconds)`` — the dense layer output plus
+        the per-stage wall-clock split summed across shards, matching
+        :meth:`repro.serve.scheduler.ShardScheduler.run_layer`.
+        """
+        v = fmt.vector_size
+        n_rows = fmt.shape[0]
+        n_dense = x_q.shape[1]
+        pbatch = fmt.blocks_as_arrays()
+        offsets = pbatch.window_offsets
+        if target_blocks is None:
+            target_blocks = self._default_target(pbatch.num_blocks)
+        ranges = window_aligned_ranges(offsets, target_blocks)
+        if pbatch.num_blocks == 0 or n_dense == 0 or not ranges:
+            return np.zeros((n_rows, n_dense), dtype=np.float32), {}
+        csr, content_key = self._resolve_identity(fmt, csr, content_key)
+        a_q = np.ascontiguousarray(a_q, dtype=np.float32)
+        b_q = np.ascontiguousarray(b_q, dtype=np.float32)
+        x_q = np.ascontiguousarray(x_q, dtype=np.float32)
+
+        target = self.affinity_host(content_key)
+        if target is not None and target.client.wire_version < 4:
+            return self._run_layer_composed(
+                fmt,
+                csr,
+                content_key,
+                a_q,
+                b_q,
+                x_q,
+                precision,
+                group,
+                scale,
+                scale_by_mask,
+                target_blocks,
+            )
+
+        program = LayerProgram.attention_layer(scale=scale, scale_by_mask=scale_by_mask)
+        store_plan = [
+            (csr_store_key(content_key), [csr.indptr, csr.indices, csr.data]),
+            (operand_store_key(a_q), [a_q]),
+            (operand_store_key(b_q), [b_q]),
+            (operand_store_key(x_q), [x_q]),
+        ]
+        tasks = []
+        for i, r in enumerate(ranges):
+            header = self._task_header(
+                "layer",
+                fmt,
+                csr,
+                content_key,
+                r,
+                i,
+                {
+                    "precision": precision.value,
+                    "group": int(group),
+                    "program": program.to_wire(),
+                },
+            )
+            header["type"] = "layer_task"
+            tasks.append(
+                {
+                    "header": header,
+                    "arrays": [csr.indptr, csr.indices, csr.data, a_q, b_q, x_q],
+                    "store_plan": store_plan,
+                    "range": r,
+                }
+            )
+
+        def inline(task: dict) -> tuple:
+            # In-parent last resort when no v4 host survives: the same
+            # fused hook the workers run, on the head's own translation.
+            r = task["range"]
+            sbatch = fmt.blocks_as_arrays(group)
+            soffsets = sbatch.window_offsets
+            slo, shi = int(soffsets[r.w0]), int(soffsets[r.w1])
+            local_indptr, entry_vector, entry_lane, vec_lo, vec_count = (
+                layer_softmax_mapping(
+                    csr.indptr,
+                    fmt.partition.nnz_vector_of_entry,
+                    fmt.partition.window_ptr,
+                    r.w0,
+                    r.w1,
+                    v,
+                    n_rows,
+                )
+            )
+            rows, timings = layer_shard_rows(
+                sbatch.values[slo:shi],
+                sbatch.columns[slo:shi],
+                sbatch.lane_valid[slo:shi],
+                sbatch.vector_index[slo:shi],
+                sbatch.window_of_block[slo:shi] - r.w0,
+                pbatch.columns[r.lo : r.hi],
+                offsets[r.w0 : r.w1 + 1] - offsets[r.w0],
+                pbatch.lane_valid[r.lo : r.hi],
+                pbatch.vector_index[r.lo : r.hi],
+                local_indptr,
+                entry_vector,
+                entry_lane,
+                vec_lo,
+                vec_count,
+                sddmm_a_window(a_q, r.w0, r.w1, v),
+                b_q,
+                x_q,
+                precision,
+                scale,
+                scale_by_mask,
+            )
+            return {"row0": r.w0 * v, "timings": timings}, [rows]
+
+        assembly = SpmmAssembly(n_rows, n_dense, num_shards=len(ranges))
+        stage_seconds: dict[str, float] = {}
+        for i, payloads in enumerate(
+            self._dispatch(tasks, content_key, inline, min_wire=4)
+        ):
+            for j, (header, arrays) in enumerate(payloads):
+                assembly.add(i, header["row0"], arrays[0])
+                if j == 0:  # don't double-count a speculative duplicate
+                    for stage, s in (header.get("timings") or {}).items():
+                        stage_seconds[stage] = stage_seconds.get(stage, 0.0) + float(s)
+        self.metrics.record_duplicates_suppressed(assembly.duplicates_suppressed)
+        # What the composed path would have moved over the wire and the
+        # fused path did not: the SDDMM intermediate pulled back to the
+        # head (float32 values + int64 vector indices) plus the attention
+        # CSR bundle pushed out again for the SpMM — never pinnable, its
+        # values change every layer evaluation.
+        n_vec = int(fmt.vector_values.shape[0])
+        intermediate_bytes = (
+            n_vec * v * 4
+            + n_vec * 8
+            + int(csr.indptr.nbytes)
+            + int(csr.indices.nbytes)
+            + int(csr.nnz) * 4
+        )
+        self.metrics.record_layer_request(
+            fused=True, round_trips_saved=2, operand_bytes_saved=intermediate_bytes
+        )
+        return assembly.result(), stage_seconds
+
+    def _run_layer_composed(
+        self,
+        fmt: BlockedVectorFormat,
+        csr: CSRMatrix,
+        content_key: str,
+        a_q: np.ndarray,
+        b_q: np.ndarray,
+        x_q: np.ndarray,
+        precision: Precision,
+        group: int,
+        scale: float | None,
+        scale_by_mask: bool,
+        target_blocks: int | None,
+    ) -> tuple[np.ndarray, dict]:
+        """Per-kernel fallback for a v3 affinity host: the literal
+        SDDMM → scale → softmax → SpMM composition, bit-identical to the
+        fused path (the parity tests pin this), at per-kernel cost."""
+        t0 = time.perf_counter()
+        sddmm_vals = self.run_sddmm(
+            fmt,
+            a_q,
+            b_q,
+            precision,
+            group,
+            scale_by_mask=scale_by_mask,
+            target_blocks=target_blocks,
+            csr=csr,
+            content_key=content_key,
+        )
+        t1 = time.perf_counter()
+        logits = gather_edge_values(fmt.partition, csr.indptr, sddmm_vals)
+        if scale is not None:
+            logits = logits * np.float32(scale)
+        attention = segment_softmax(logits, csr.indptr)
+        acsr = attention_csr(csr, attention)
+        translate = cached_sgt16 if isinstance(fmt, SGT16Matrix) else cached_mebcrs
+        afmt = translate(acsr, precision, by_content=True)
+        t2 = time.perf_counter()
+        rows = self.run_spmm(
+            afmt,
+            x_q,
+            precision,
+            target_blocks=target_blocks,
+            csr=acsr,
+            content_key=acsr.content_key(),
+        )
+        t3 = time.perf_counter()
+        self.metrics.record_layer_request(fused=False)
+        return rows, {
+            "sddmm_s": t1 - t0,
+            "edge_softmax_s": t2 - t1,
+            "spmm_s": t3 - t2,
+        }
+
+    # ------------------------------------------------------------ segmm (v4)
+    def run_segment_matmul(
+        self, data: np.ndarray, offsets: np.ndarray, weights
+    ) -> np.ndarray:
+        """Served :func:`repro.ops.segment_matmul` (RGCN-style typed linear).
+
+        One ``segmm_task`` frame to the operand's affinity host when it
+        speaks v4; otherwise (v3 peer, or no live host) the product runs
+        in-parent.  Serving requires uniform-width weights — the wire
+        format is one stacked ``(segments, K, N)`` panel.
+        """
+        data = np.ascontiguousarray(np.asarray(data, dtype=np.float32))
+        offsets = np.ascontiguousarray(np.asarray(offsets, dtype=np.int64))
+        stack = np.ascontiguousarray(
+            np.stack([np.asarray(w, dtype=np.float32) for w in weights])
+        )
+        self.metrics.record_segmm_request()
+        routing_key = operand_store_key(data)
+        tasks = [
+            {
+                "header": {"type": "segmm_task", "op": "segmm", "task_id": 0},
+                "arrays": [data, offsets, stack],
+            }
+        ]
+
+        def inline(task: dict) -> tuple:
+            return {}, [
+                np.ascontiguousarray(segment_matmul(data, offsets, list(stack)))
+            ]
+
+        payloads = self._dispatch(tasks, routing_key, inline, min_wire=4)
+        return np.asarray(payloads[0][0][1][0], dtype=np.float32)

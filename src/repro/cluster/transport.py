@@ -51,6 +51,16 @@ additionally carries the :mod:`repro.cluster.store` frames — a v3 head
 talking to a v2 worker simply keeps embedding operand bytes in every task
 frame, so mixed-version clusters work unchanged.
 
+Protocol version 4 adds **fused layer serving**: a ``layer_task`` frame
+carries one window-aligned shard of a whole GNN layer program (SDDMM →
+scale → edge softmax → SpMM executed in one worker pass; see
+:mod:`repro.serve.program`) and a ``segmm_task`` frame one served
+:func:`repro.ops.segment_matmul`.  Dense operand panels ride the v3
+pinned store, so a layer's panels ship once per host.  The min-of-maxes
+negotiation makes the fallback transparent: a v4 head talking to a v3
+worker sends three per-kernel task frames per layer instead, with
+bit-identical results.
+
 Message types (the ``type`` header field) used by the cluster:
 
 * ``challenge`` / ``hello`` / ``welcome`` / ``reject``: the connection
@@ -58,6 +68,9 @@ Message types (the ``type`` header field) used by the cluster:
 * ``task`` (head → worker): one window-aligned shard of one SpMM/SDDMM —
   with the CSR + dense operand buffers embedded (v2), or referencing
   pinned store keys with no payload at all (v3),
+* ``layer_task`` (v4, head → worker): one window-aligned shard of a whole
+  fused layer program; operands embedded or store-referenced like ``task``,
+* ``segmm_task`` (v4, head → worker): one served segment matmul,
 * ``store_put`` / ``store_ack`` (v3): pin a content-keyed buffer bundle
   on the worker / confirm it,
 * ``store_miss`` (v3, worker → head): a task referenced keys the worker
@@ -91,15 +104,16 @@ _BUF_LEN = struct.Struct("!Q")
 
 MAGIC = b"FSRP"
 #: Highest wire protocol version this end speaks (v2 = checksummed +
-#: handshake; v3 = content-addressed store push/pin frames).
-VERSION = 3
+#: handshake; v3 = content-addressed store push/pin frames; v4 = fused
+#: ``layer_task`` / ``segmm_task`` frames).
+VERSION = 4
 #: Lowest version this end will negotiate down to: v2 is the floor —
 #: payload checksums and the authenticated handshake are not optional.
 MIN_VERSION = 2
 #: Prefix versions the parser will read at all.  v1 frames are accepted
 #: only so the handshake can answer a legacy peer with a structured
-#: reject it can parse; every post-handshake frame is v2 or v3.
-SUPPORTED_VERSIONS = frozenset({1, 2, 3})
+#: reject it can parse; every post-handshake frame is v2, v3 or v4.
+SUPPORTED_VERSIONS = frozenset({1, 2, 3, 4})
 
 #: Sanity bounds — a corrupt or hostile prefix must not trigger a huge
 #: allocation before the magic/shape checks can reject it.

@@ -76,8 +76,16 @@ from repro.formats.cache import (
     cached_sgt16,
 )
 from repro.formats.csr import CSRMatrix
-from repro.kernels.engine import sddmm_a_window, sddmm_shard_values, spmm_shard_rows
+from repro.kernels.engine import (
+    layer_shard_rows,
+    layer_softmax_mapping,
+    sddmm_a_window,
+    sddmm_shard_values,
+    spmm_shard_rows,
+)
+from repro.ops import segment_matmul
 from repro.precision.types import Precision
+from repro.serve.program import LayerProgram
 
 #: Translation entry points by the task header's ``fmt`` field.
 _TRANSLATORS = {"mebcrs": cached_mebcrs, "sgt16": cached_sgt16}
@@ -191,8 +199,8 @@ class WorkerHost:
         if delay > 0.0:  # failure-injection hook for the kill-mid-shard tests
             time.sleep(delay)
         op = header["op"]
-        lo, hi = int(header["lo"]), int(header["hi"])
-        w0, w1 = int(header["w0"]), int(header["w1"])
+        lo, hi = int(header.get("lo", 0)), int(header.get("hi", 0))
+        w0, w1 = int(header.get("w0", 0)), int(header.get("w1", 0))
         if op == "spmm":
             indptr, indices, data, b_q = arrays
             fmt, precision = self._translate(header, indptr, indices, data)
@@ -224,6 +232,63 @@ class WorkerHost:
             )
             reply = {"type": "result"}
             payload = [np.asarray(idx, dtype=np.int64), vals]
+        elif op == "layer":
+            # One window-aligned shard of a whole fused layer program
+            # (protocol v4): SDDMM → scale → edge softmax → SpMM in one
+            # pass, reusing the shared translation.  Everything the softmax
+            # stage needs — the CSR↔vector mapping — derives locally from
+            # the partition and the CSR indptr; only the window range
+            # travels in the header.
+            indptr, indices, data, a_q, b_q, x_q = arrays
+            fmt, precision = self._translate(header, indptr, indices, data)
+            scale, scale_by_mask = LayerProgram.from_wire(header["program"]).canonical()
+            v = fmt.vector_size
+            pbatch = fmt.blocks_as_arrays()
+            sbatch = fmt.blocks_as_arrays(int(header["group"]))
+            offsets = pbatch.window_offsets
+            soffsets = sbatch.window_offsets
+            lo, hi = int(offsets[w0]), int(offsets[w1])
+            slo, shi = int(soffsets[w0]), int(soffsets[w1])
+            local_indptr, entry_vector, entry_lane, vec_lo, vec_count = (
+                layer_softmax_mapping(
+                    np.asarray(indptr),
+                    fmt.partition.nnz_vector_of_entry,
+                    fmt.partition.window_ptr,
+                    w0,
+                    w1,
+                    v,
+                    fmt.shape[0],
+                )
+            )
+            rows, timings = layer_shard_rows(
+                sbatch.values[slo:shi],
+                sbatch.columns[slo:shi],
+                sbatch.lane_valid[slo:shi],
+                sbatch.vector_index[slo:shi],
+                sbatch.window_of_block[slo:shi] - w0,
+                pbatch.columns[lo:hi],
+                offsets[w0 : w1 + 1] - lo,
+                pbatch.lane_valid[lo:hi],
+                pbatch.vector_index[lo:hi],
+                local_indptr,
+                entry_vector,
+                entry_lane,
+                vec_lo,
+                vec_count,
+                sddmm_a_window(a_q, w0, w1, v),
+                b_q,
+                x_q,
+                precision,
+                scale,
+                scale_by_mask,
+            )
+            reply = {"type": "result", "row0": w0 * v, "timings": timings}
+            payload = [rows]
+        elif op == "segmm":
+            data, offsets, weights = arrays
+            out = segment_matmul(data, np.asarray(offsets, dtype=np.int64), list(weights))
+            reply = {"type": "result"}
+            payload = [np.ascontiguousarray(out)]
         else:
             raise ValueError(f"unknown op {op!r}")
         self.tasks_done += 1
@@ -318,7 +383,7 @@ class WorkerHost:
                         },
                         version=wire,
                     )
-                elif kind == "task":
+                elif kind in ("task", "layer_task", "segmm_task"):
                     try:
                         reply, payload = self.run_task(header, arrays)
                     except StoreMissError as exc:

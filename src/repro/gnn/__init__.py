@@ -17,7 +17,13 @@ pieces needed to reproduce the end-to-end case study:
 """
 
 from repro.gnn.autograd import Tensor, Parameter, no_grad
-from repro.gnn.backends import SparseBackend, make_backend, BACKEND_NAMES
+from repro.gnn.backends import (
+    BACKEND_NAMES,
+    SERVED_MODES,
+    ServedBackend,
+    SparseBackend,
+    make_backend,
+)
 from repro.gnn.layers import GCNLayer, AGNNLayer
 from repro.gnn.models import GCN, AGNN
 from repro.gnn.data import NodeClassificationDataset, make_dataset, TABLE8_DATASETS
@@ -29,6 +35,8 @@ __all__ = [
     "Parameter",
     "no_grad",
     "SparseBackend",
+    "ServedBackend",
+    "SERVED_MODES",
     "make_backend",
     "BACKEND_NAMES",
     "GCNLayer",

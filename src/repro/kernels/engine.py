@@ -49,13 +49,14 @@ to FP32 round-off, not bit-exactly.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.formats.blocked import BlockBatch, BlockedVectorFormat
-from repro.ops import segment_sum, segment_sum_runs
+from repro.ops import segment_ids, segment_softmax, segment_sum, segment_sum_runs
 from repro.precision.types import Precision, quantize
 
 
@@ -415,3 +416,147 @@ def sddmm_shard_values(
         sampled = sampled * shard_values
     lanes = shard_lane_valid
     return shard_vector_index[lanes], sampled.transpose(0, 2, 1)[lanes]
+
+
+# ---------------------------------------------------------------------------
+# Fused layer shard hook (one round trip per GNN layer)
+# ---------------------------------------------------------------------------
+# A GAT/AGNN-style attention layer is SDDMM → (scale) → edge softmax → SpMM.
+# Served one kernel at a time that costs three request cycles per layer, each
+# re-gathering dense operands and re-acquiring the translation.  The fused
+# hook below executes the *whole* pipeline for one window-aligned shard.
+#
+# Why this is possible per shard, bit-identically: shard boundaries are
+# window-aligned, windows are ``vector_size`` consecutive rows, so a shard
+# owns whole CSR rows — every softmax segment (one CSR row) lies entirely
+# inside one shard, and :func:`repro.ops.segment_softmax` computes each
+# segment from its own elements only.  The SDDMM and SpMM stages were
+# already shard-local.  The one representational hop — SDDMM emits values
+# in nonzero-vector layout, the softmax wants CSR edge order, the SpMM
+# wants the block batch again — is a pair of gathers/scatters through the
+# shared :class:`~repro.formats.windows.WindowPartition`, computed locally
+# by :func:`layer_softmax_mapping` from the partition + CSR indptr; nothing
+# extra has to travel on the wire for the cluster's ``layer_task`` frames.
+#
+# The composed serving path additionally *translates* the attention CSR
+# before the SpMM, which stores the values as ``dtype_for(precision)``.
+# Skipping that round trip is exact because :func:`spmm_shard_rows` applies
+# ``quantize`` anyway and quantisation is idempotent (an FP16 round trip
+# and TF32 mantissa rounding are both projections), so the fused SpMM sees
+# the same quantised values the composed one does.
+
+
+def layer_softmax_mapping(
+    indptr: np.ndarray,
+    nnz_vector_of_entry: np.ndarray,
+    window_ptr: np.ndarray,
+    w0: int,
+    w1: int,
+    vector_size: int,
+    n_rows: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Shard-local CSR ↔ nonzero-vector mapping for the fused softmax stage.
+
+    For the window range ``[w0, w1)`` (rows ``[w0·v, min(w1·v, n_rows))``)
+    returns ``(local_indptr, entry_vector, entry_lane, vec_lo, vec_count)``:
+    ``local_indptr`` is the shard-local CSR row layout (softmax segments),
+    ``entry_vector`` / ``entry_lane`` address each CSR entry's slot in the
+    shard's ``(vec_count, v)`` nonzero-vector value slab (vector ids local
+    to ``vec_lo = window_ptr[w0]``), exactly the scatter the translation
+    performs — so a gather through them reads SDDMM outputs in CSR edge
+    order and a scatter writes attention weights back into block-value
+    layout.  Everything derives from the partition and the CSR ``indptr``;
+    a cluster worker computes it locally per task.
+    """
+    v = int(vector_size)
+    r0 = int(w0) * v
+    r1 = min(int(w1) * v, int(n_rows))
+    e0 = int(indptr[r0])
+    e1 = int(indptr[r1])
+    local_indptr = np.asarray(indptr[r0 : r1 + 1], dtype=np.int64) - e0
+    vec_lo = int(window_ptr[w0])
+    vec_count = int(window_ptr[w1]) - vec_lo
+    entry_vector = np.asarray(nnz_vector_of_entry[e0:e1], dtype=np.int64) - vec_lo
+    # Rows start at w0·v ≡ 0 (mod v), so the lane (row-in-window) of every
+    # entry is just its shard-local row index modulo v.
+    entry_lane = segment_ids(local_indptr) % v
+    return local_indptr, entry_vector, entry_lane, vec_lo, vec_count
+
+
+def layer_shard_rows(
+    sddmm_values: np.ndarray,
+    sddmm_columns: np.ndarray,
+    sddmm_lane_valid: np.ndarray,
+    sddmm_vector_index: np.ndarray,
+    sddmm_local_window_of_block: np.ndarray,
+    spmm_columns: np.ndarray,
+    spmm_local_offsets: np.ndarray,
+    spmm_lane_valid: np.ndarray,
+    spmm_vector_index: np.ndarray,
+    local_indptr: np.ndarray,
+    entry_vector: np.ndarray,
+    entry_lane: np.ndarray,
+    vec_lo: int,
+    vec_count: int,
+    a_win: np.ndarray,
+    b_q: np.ndarray,
+    x_q: np.ndarray,
+    precision: Precision,
+    scale: float | None,
+    scale_by_mask: bool,
+) -> tuple[np.ndarray, dict]:
+    """Dense output rows of one fused-layer shard, plus per-stage seconds.
+
+    Executes SDDMM → (scale) → edge softmax → SpMM for one window-aligned
+    shard without leaving the worker: the ``sddmm_*`` arguments are the
+    shard's slices of the SDDMM-grouping block batch (as for
+    :func:`sddmm_shard_values`), the ``spmm_*`` arguments the slices of the
+    SpMM-grouping batch (as for :func:`spmm_shard_rows` — the two groupings
+    cover the same windows but different block counts), and the mapping
+    arguments come from :func:`layer_softmax_mapping`.  ``a_win`` / ``b_q``
+    are the SDDMM operands, ``x_q`` the SpMM dense operand; ``scale``
+    multiplies the edge logits in float32 before the softmax (the AGNN β).
+
+    Returns ``(rows, timings)``: the ``(windows · v, N)`` output rows
+    starting at matrix row ``w0 · v`` (caller clips the tail window) and a
+    ``{"sddmm_s", "edge_softmax_s", "spmm_s"}`` wall-clock split.
+    """
+    t0 = time.perf_counter()
+    idx, vals = sddmm_shard_values(
+        sddmm_values,
+        sddmm_columns,
+        sddmm_lane_valid,
+        sddmm_vector_index,
+        sddmm_local_window_of_block,
+        a_win,
+        b_q,
+        scale_by_mask,
+    )
+    t1 = time.perf_counter()
+    # SDDMM output → CSR edge order → per-row softmax → block-value layout.
+    v = a_win.shape[1]
+    logits_vec = np.zeros((vec_count, v), dtype=np.float32)
+    logits_vec[idx - vec_lo] = vals
+    logits_csr = logits_vec[entry_vector, entry_lane]
+    if scale is not None:
+        logits_csr = logits_csr * np.float32(scale)
+    attn_csr = segment_softmax(logits_csr, local_indptr)
+    attn_vec = np.zeros_like(logits_vec)
+    attn_vec[entry_vector, entry_lane] = attn_csr
+    t2 = time.perf_counter()
+    # Rebuild the shard's SpMM block values from the attention slab — the
+    # same gather ``blocks_as_arrays`` performs, with padded lanes masked
+    # *before* localising the vector ids (a padded lane's global id is 0,
+    # which would go negative under ``- vec_lo``).
+    safe = np.where(spmm_lane_valid, spmm_vector_index - vec_lo, 0)
+    gathered = attn_vec[safe]  # (n_blocks, group, v)
+    gathered[~spmm_lane_valid] = 0.0
+    attn_values = np.ascontiguousarray(gathered.transpose(0, 2, 1))
+    rows = spmm_shard_rows(attn_values, spmm_columns, spmm_local_offsets, x_q, precision)
+    t3 = time.perf_counter()
+    timings = {
+        "sddmm_s": t1 - t0,
+        "edge_softmax_s": t2 - t1,
+        "spmm_s": t3 - t2,
+    }
+    return rows, timings

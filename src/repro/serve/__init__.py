@@ -14,6 +14,10 @@ The four pieces:
   ``max_intermediate_bytes`` / ``workers`` from a
   :class:`~repro.gpu.device.GPUSpec` memory budget and the format's
   block-width histogram, replacing caller-supplied knobs;
+* :mod:`repro.serve.program` — composable layer programs
+  (``sddmm → [scale] → edge_softmax → spmm``) so a whole attention layer
+  is one request (``Server.submit_layer``) instead of three, plus the
+  composed-execution helpers the per-kernel fallback shares;
 * :mod:`repro.serve.scheduler` — shards window-aligned block ranges of one
   operation across a process pool (work queue, per-shard retry,
   shared-memory dense operands, bit-identical to the single-process
@@ -41,13 +45,29 @@ from repro.serve.errors import (
 )
 from repro.serve.metrics import LatencyStats, MetricsSnapshot, ServeMetrics
 from repro.serve.planner import ServePlan, plan_sddmm, plan_spmm
+from repro.serve.program import (
+    EdgeSoftmaxResult,
+    LayerProgram,
+    LayerResult,
+    LayerStep,
+    ProgramError,
+    SegmentMatmulResult,
+    attention_csr,
+    gather_edge_values,
+)
 from repro.serve.scheduler import ShardScheduler
 from repro.serve.server import Server, ServeRequest
 
 __all__ = [
     "DispatcherCrashedError",
+    "EdgeSoftmaxResult",
     "LatencyStats",
+    "LayerProgram",
+    "LayerResult",
+    "LayerStep",
     "MetricsSnapshot",
+    "ProgramError",
+    "SegmentMatmulResult",
     "ServeError",
     "ServeMetrics",
     "ServePlan",
@@ -58,6 +78,8 @@ __all__ = [
     "ShardScheduler",
     "Server",
     "ServeRequest",
+    "attention_csr",
+    "gather_edge_values",
     "plan_sddmm",
     "plan_spmm",
 ]

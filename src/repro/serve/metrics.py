@@ -116,6 +116,22 @@ class MetricsSnapshot:
     #: Translation-cache counters since this server's metrics were reset.
     cache: CacheStats
     meta: dict = field(default_factory=dict)
+    #: Pending requests promoted a full priority class by aging (waited at
+    #: least ``aging_halflife_s``); 0 when aging is disabled.
+    requests_aged: int = 0
+    #: Fused layer requests completed (``submit_layer``).
+    layer_requests: int = 0
+    #: Scheduler round trips avoided versus per-kernel composition
+    #: (two per fused layer: SDDMM and edge-softmax stop being requests).
+    round_trips_saved: int = 0
+    #: Intermediate operand traffic (bytes) the composed path would have
+    #: moved between scheduler and server per layer and the fused path
+    #: did not (SDDMM output out, attention matrix back in).
+    operand_bytes_saved: int = 0
+    #: Per-stage latency split of fused layer requests, keyed by stage
+    #: (``sddmm`` / ``edge_softmax`` / ``spmm``), each under the same
+    #: :class:`LatencyStats` shape as ``queue_wait`` / ``execution``.
+    stage_latency: dict = field(default_factory=dict)
 
     @property
     def in_flight(self) -> int:
@@ -165,6 +181,11 @@ class ServeMetrics:
         self._batches = 0
         self._coalesced = 0
         self._queue_depth = 0
+        self._aged = 0
+        self._layer_requests = 0
+        self._round_trips_saved = 0
+        self._operand_bytes_saved = 0
+        self._stage_times: dict[str, deque[float]] = {}
         self._cache_base = format_cache_stats()
 
     # -------------------------------------------------------------- recorders
@@ -208,6 +229,32 @@ class ServeMetrics:
             self._batches += 1
             if size > 1:
                 self._coalesced += size
+
+    def record_aged(self, n: int = 1) -> None:
+        """Count ``n`` pending requests aged up one full priority class
+        (each counted once, at the dispatch pass that first saw it)."""
+        with self._lock:
+            self._aged += n
+
+    def record_layer(
+        self,
+        stage_seconds: dict | None = None,
+        round_trips_saved: int = 0,
+        operand_bytes_saved: int = 0,
+    ) -> None:
+        """Count one fused layer request: its per-stage wall clock and the
+        round trips / intermediate bytes it avoided versus composition."""
+        with self._lock:
+            self._layer_requests += 1
+            self._round_trips_saved += int(round_trips_saved)
+            self._operand_bytes_saved += int(operand_bytes_saved)
+            for stage, seconds in (stage_seconds or {}).items():
+                name = str(stage).removesuffix("_s")
+                reservoir = self._stage_times.get(name)
+                if reservoir is None:
+                    reservoir = deque(maxlen=LATENCY_RESERVOIR)
+                    self._stage_times[name] = reservoir
+                reservoir.append(float(seconds))
 
     def record_completed(
         self,
@@ -261,4 +308,12 @@ class ServeMetrics:
                 execution=_summarise(self._exec_times),
                 cache=_delta(format_cache_stats(), self._cache_base),
                 meta=dict(meta),
+                requests_aged=self._aged,
+                layer_requests=self._layer_requests,
+                round_trips_saved=self._round_trips_saved,
+                operand_bytes_saved=self._operand_bytes_saved,
+                stage_latency={
+                    stage: _summarise(samples)
+                    for stage, samples in self._stage_times.items()
+                },
             )

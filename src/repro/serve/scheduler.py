@@ -44,11 +44,14 @@ import numpy as np
 from repro.formats.blocked import BlockedVectorFormat
 from repro.kernels.engine import (
     ShardRange,
+    layer_shard_rows,
+    layer_softmax_mapping,
     sddmm_a_window,
     sddmm_shard_values,
     spmm_shard_rows,
     window_aligned_ranges,
 )
+from repro.ops import segment_matmul
 from repro.precision.types import Precision
 
 try:  # POSIX shared memory; present on every platform this repo targets.
@@ -172,7 +175,48 @@ def _run_sddmm_shard(task: dict) -> int:
     return task["shard"]
 
 
-_WORKER_BODIES = {"spmm": _run_spmm_shard, "sddmm": _run_sddmm_shard}
+def _run_layer_shard(task: dict) -> tuple[int, dict]:
+    """Run one fused-layer shard (SDDMM → softmax → SpMM) end to end."""
+    _maybe_fail(task)
+    a_shm, a_q = _attach(task["a"])
+    b_shm, b_q = _attach(task["b"])
+    x_shm, x_q = _attach(task["x"])
+    out_shm, out = _attach(task["out"])
+    try:
+        rows, timings = layer_shard_rows(
+            task["sddmm_values"],
+            task["sddmm_columns"],
+            task["sddmm_lane_valid"],
+            task["sddmm_vector_index"],
+            task["sddmm_local_window_of_block"],
+            task["spmm_columns"],
+            task["spmm_local_offsets"],
+            task["spmm_lane_valid"],
+            task["spmm_vector_index"],
+            task["local_indptr"],
+            task["entry_vector"],
+            task["entry_lane"],
+            task["vec_lo"],
+            task["vec_count"],
+            sddmm_a_window(a_q, task["w0"], task["w1"], task["v"]),
+            b_q,
+            x_q,
+            Precision(task["precision"]),
+            task["scale"],
+            task["scale_by_mask"],
+        )
+        row0 = task["row0"]
+        stop = min(row0 + rows.shape[0], out.shape[0])
+        out[row0:stop] = rows[: stop - row0]
+    finally:
+        a_shm.close()
+        b_shm.close()
+        x_shm.close()
+        out_shm.close()
+    return task["shard"], timings
+
+
+_WORKER_BODIES = {"spmm": _run_spmm_shard, "sddmm": _run_sddmm_shard, "layer": _run_layer_shard}
 
 
 def _run_task(task: dict) -> int:
@@ -256,12 +300,14 @@ class ShardScheduler:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def _dispatch(self, tasks: list[dict], inline_body) -> None:
+    def _dispatch(self, tasks: list[dict], inline_body, on_result=None) -> None:
         """Run ``tasks`` on the pool with per-shard retry and inline fallback.
 
         ``inline_body(task)`` is the parent-side fallback executed against
         the parent's own arrays once a shard exhausts its retries (or when
-        the pool itself breaks).
+        the pool itself breaks).  ``on_result`` (optional) receives each
+        pool future's return value — the fused-layer path collects its
+        per-stage timings through it (inline bodies record their own).
         """
         self._count("requests")
         self._count("shards", len(tasks))
@@ -275,6 +321,8 @@ class ShardScheduler:
             for future in done:
                 task = pending.pop(future)
                 if future.exception() is None:
+                    if on_result is not None:
+                        on_result(future.result())
                     continue
                 if task["attempt"] <= self.retries:
                     task = dict(task, attempt=task["attempt"] + 1)
@@ -450,3 +498,160 @@ class ShardScheduler:
             for shm in segments:
                 shm.close()
                 shm.unlink()
+
+    # ----------------------------------------------------------- fused layer
+    def run_layer(
+        self,
+        fmt: BlockedVectorFormat,
+        indptr: np.ndarray,
+        a_q: np.ndarray,
+        b_q: np.ndarray,
+        x_q: np.ndarray,
+        precision: Precision,
+        group: int,
+        scale: float | None = None,
+        scale_by_mask: bool = False,
+        target_blocks: int | None = None,
+        _inject_failures: dict | None = None,
+    ) -> tuple[np.ndarray, dict]:
+        """One fused layer (SDDMM → scale → softmax → SpMM) sharded across
+        the pool — bit-identical to the three-call composition.
+
+        ``indptr`` is the mask's CSR row layout (the softmax segments);
+        ``a_q`` / ``b_q`` are the SDDMM operands and ``x_q`` the SpMM dense
+        operand, all pre-quantised float32.  ``group`` is the SDDMM output
+        grouping (``VECTORS_PER_OUTPUT_BLOCK``).  Shards are cut on the
+        SpMM grouping's window offsets and each stage slices its own batch
+        at the same window bounds — the two groupings cover identical
+        windows, so the shard set is window-aligned for both.
+
+        Returns ``(rows, stage_seconds)`` where ``stage_seconds`` sums each
+        stage's wall clock across shards
+        (``{"sddmm_s", "edge_softmax_s", "spmm_s"}``).
+        """
+        v = fmt.vector_size
+        n_rows = fmt.shape[0]
+        n_dense = x_q.shape[1]
+        pbatch = fmt.blocks_as_arrays()
+        sbatch = fmt.blocks_as_arrays(group)
+        offsets = pbatch.window_offsets
+        soffsets = sbatch.window_offsets
+        if target_blocks is None:
+            target_blocks = max(1, -(-pbatch.num_blocks // self.workers))
+        ranges = window_aligned_ranges(offsets, target_blocks)
+        stage_seconds = {"sddmm_s": 0.0, "edge_softmax_s": 0.0, "spmm_s": 0.0}
+        if pbatch.num_blocks == 0 or n_dense == 0 or not ranges:
+            return np.zeros((n_rows, n_dense), dtype=np.float32), stage_seconds
+
+        use_pool = self.workers > 1 and shared_memory is not None
+        segments = []
+        try:
+            if use_pool:
+                a_shm, a_desc = _create_shm(a_q)
+                b_shm, b_desc = _create_shm(b_q)
+                x_shm, x_desc = _create_shm(x_q)
+                out_shm, out_desc = _create_shm_zeros((n_rows, n_dense), np.float32)
+                segments = [a_shm, b_shm, x_shm, out_shm]
+                out_view = np.ndarray((n_rows, n_dense), np.float32, buffer=out_shm.buf)
+            else:
+                a_desc = b_desc = x_desc = out_desc = None
+                out_view = np.zeros((n_rows, n_dense), dtype=np.float32)
+
+            tasks = []
+            for i, r in enumerate(ranges):
+                slo, shi = int(soffsets[r.w0]), int(soffsets[r.w1])
+                local_indptr, entry_vector, entry_lane, vec_lo, vec_count = (
+                    layer_softmax_mapping(
+                        indptr,
+                        fmt.partition.nnz_vector_of_entry,
+                        fmt.partition.window_ptr,
+                        r.w0,
+                        r.w1,
+                        v,
+                        n_rows,
+                    )
+                )
+                tasks.append(
+                    {
+                        "kind": "layer",
+                        "shard": i,
+                        "attempt": 1,
+                        "fail_times": (_inject_failures or {}).get(i, 0),
+                        "sddmm_values": sbatch.values[slo:shi],
+                        "sddmm_columns": sbatch.columns[slo:shi],
+                        "sddmm_lane_valid": sbatch.lane_valid[slo:shi],
+                        "sddmm_vector_index": sbatch.vector_index[slo:shi],
+                        "sddmm_local_window_of_block": sbatch.window_of_block[slo:shi] - r.w0,
+                        "spmm_columns": pbatch.columns[r.lo : r.hi],
+                        "spmm_local_offsets": offsets[r.w0 : r.w1 + 1] - r.lo,
+                        "spmm_lane_valid": pbatch.lane_valid[r.lo : r.hi],
+                        "spmm_vector_index": pbatch.vector_index[r.lo : r.hi],
+                        "local_indptr": local_indptr,
+                        "entry_vector": entry_vector,
+                        "entry_lane": entry_lane,
+                        "vec_lo": vec_lo,
+                        "vec_count": vec_count,
+                        "w0": r.w0,
+                        "w1": r.w1,
+                        "v": v,
+                        "row0": r.w0 * v,
+                        "precision": precision.value,
+                        "scale": None if scale is None else float(scale),
+                        "scale_by_mask": bool(scale_by_mask),
+                        "a": a_desc,
+                        "b": b_desc,
+                        "x": x_desc,
+                        "out": out_desc,
+                    }
+                )
+
+            def add_timings(timings: dict) -> None:
+                for key in stage_seconds:
+                    stage_seconds[key] += timings.get(key, 0.0)
+
+            def inline(task: dict) -> None:
+                rows, timings = layer_shard_rows(
+                    task["sddmm_values"],
+                    task["sddmm_columns"],
+                    task["sddmm_lane_valid"],
+                    task["sddmm_vector_index"],
+                    task["sddmm_local_window_of_block"],
+                    task["spmm_columns"],
+                    task["spmm_local_offsets"],
+                    task["spmm_lane_valid"],
+                    task["spmm_vector_index"],
+                    task["local_indptr"],
+                    task["entry_vector"],
+                    task["entry_lane"],
+                    task["vec_lo"],
+                    task["vec_count"],
+                    sddmm_a_window(a_q, task["w0"], task["w1"], v),
+                    b_q,
+                    x_q,
+                    precision,
+                    task["scale"],
+                    task["scale_by_mask"],
+                )
+                row0 = task["row0"]
+                stop = min(row0 + rows.shape[0], n_rows)
+                out_view[row0:stop] = rows[: stop - row0]
+                add_timings(timings)
+
+            self._dispatch(tasks, inline, on_result=lambda res: add_timings(res[1]))
+            return np.array(out_view, copy=True), stage_seconds
+        finally:
+            for shm in segments:
+                shm.close()
+                shm.unlink()
+
+    # -------------------------------------------------------- segment matmul
+    def run_segment_matmul(self, data: np.ndarray, offsets: np.ndarray, weights) -> np.ndarray:
+        """Served typed-linear (:func:`repro.ops.segment_matmul`).
+
+        Runs in-process: the op is already one bucketed batched-BLAS pass,
+        so process sharding would only add pickle traffic.  Counted as one
+        request / one shard in the lifetime stats.
+        """
+        self._count("requests")
+        self._count("shards")
+        return segment_matmul(data, offsets, weights)

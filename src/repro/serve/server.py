@@ -96,6 +96,7 @@ server stays ``healthy`` through it.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import os
 import queue
@@ -117,6 +118,7 @@ from repro.kernels.sddmm_flash import (
     sddmm_flash_cost,
 )
 from repro.kernels.spmm_flash import spmm_flash_cost
+from repro.ops import segment_softmax
 from repro.perfmodel.model import sddmm_useful_flops, spmm_useful_flops
 from repro.precision.types import Precision, quantize
 from repro.serve.errors import (
@@ -128,6 +130,12 @@ from repro.serve.errors import (
 )
 from repro.serve.metrics import MetricsSnapshot, ServeMetrics
 from repro.serve.planner import MAX_PLANNED_WORKERS, ServePlan, plan_sddmm, plan_spmm
+from repro.serve.program import (
+    EdgeSoftmaxResult,
+    LayerProgram,
+    LayerResult,
+    SegmentMatmulResult,
+)
 from repro.serve.scheduler import ShardScheduler
 from repro.utils.validation import check_dense_matrix
 
@@ -150,16 +158,31 @@ ADMISSION_POLICIES = ("block", "reject")
 BACKENDS = ("local", "cluster")
 
 
+def _edge_softmax_useful_flops(nnz: int) -> int:
+    """Per-edge softmax work: max, subtract, exp, sum, divide — ~5/edge."""
+    return 5 * int(nnz)
+
+
 @dataclass
 class ServeRequest:
     """One queued operation (internal to the server)."""
 
     op: str
-    csr: object  # CSRMatrix
+    csr: object  # CSRMatrix (None for pattern-free ops, e.g. segmm)
     key: str  # content key — the batching handle
     b: np.ndarray
     a: np.ndarray | None = None
     scale_by_mask: bool = False
+    #: Aggregation panel of a fused layer request (``submit_layer``).
+    x: np.ndarray | None = None
+    #: Folded scalar applied to the layer's logits before the softmax.
+    scale: float | None = None
+    #: Segment boundaries / per-segment weights of a ``segmm`` request.
+    offsets: np.ndarray | None = None
+    weights: np.ndarray | None = None
+    #: Coalescing handle of a layer request: layers agree on everything
+    #: but the ``x`` panel exactly when their tokens match.
+    group_token: str = ""
     future: Future | None = None
     submitted_at: float = 0.0
     #: Absolute ``perf_counter`` deadline; ``None`` means wait forever.
@@ -177,11 +200,27 @@ class ServeRequest:
     #: Whether the cancellation counter already saw this request (several
     #: drop sites can observe the same cancelled future).
     cancel_accounted: bool = False
+    #: Whether the aging counter already saw this request cross a full
+    #: half-life of queue wait (each promotion is counted once).
+    aged_accounted: bool = False
 
-    def dispatch_order(self) -> tuple:
-        """Sort key: priority class desc, then EDF, then arrival order."""
+    def dispatch_order(
+        self, now: float | None = None, aging_halflife_s: float | None = None
+    ) -> tuple:
+        """Sort key: priority class desc, then EDF, then arrival order.
+
+        With aging enabled, the class is the *effective* priority: the
+        static class plus one for every ``aging_halflife_s`` the request
+        has waited.  The boost is continuous, so within a starved class
+        the longest-waiting request climbs first, and any request
+        eventually outranks a sustained flood of strictly higher static
+        priority — bounded starvation instead of no guarantee.
+        """
+        priority = float(self.priority)
+        if aging_halflife_s is not None and now is not None:
+            priority += max(0.0, now - self.submitted_at) / aging_halflife_s
         deadline = math.inf if self.deadline is None else self.deadline
-        return (-self.priority, deadline, self.seq)
+        return (-priority, deadline, self.seq)
 
 
 @dataclass
@@ -236,6 +275,12 @@ class Server:
         sequential order the latency accounting assumes — and to the host
         count for ``backend="cluster"``, where independent matrices route
         to different hosts and would otherwise idle them.
+    aging_halflife_s:
+        Priority aging: every queued request gains one effective priority
+        class per ``aging_halflife_s`` seconds waited, so a sustained
+        flood of high-priority traffic cannot starve lower classes
+        indefinitely (promotions are counted in ``requests_aged``).
+        ``None`` (default) keeps strict static classes.
     cluster_options:
         Extra keyword arguments for the
         :class:`~repro.cluster.head.ClusterScheduler` (heartbeat knobs,
@@ -266,6 +311,7 @@ class Server:
         shed_watermark: int | None = None,
         group_concurrency: int | None = None,
         cluster_options: dict | None = None,
+        aging_halflife_s: float | None = None,
     ):
         self.device = device if (device is None or isinstance(device, GPUSpec)) else get_device(device)
         self.precision = Precision(precision)
@@ -280,6 +326,9 @@ class Server:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         if shed_watermark is not None and int(shed_watermark) < 1:
             raise ValueError("shed_watermark must be >= 1 (or None to disable)")
+        if aging_halflife_s is not None and float(aging_halflife_s) <= 0:
+            raise ValueError("aging_halflife_s must be > 0 (or None to disable aging)")
+        self.aging_halflife_s = None if aging_halflife_s is None else float(aging_halflife_s)
         self.max_queue_depth = None if max_queue_depth is None else int(max_queue_depth)
         self.admission = admission
         self.backend = backend
@@ -410,6 +459,147 @@ class Server:
                 scale_by_mask=scale_by_mask,
                 priority=int(priority),
                 cost=float(sddmm_useful_flops(inp.csr.nnz, a.shape[1])),
+            ),
+            timeout,
+        )
+
+    def submit_layer(
+        self,
+        matrix,
+        a: np.ndarray,
+        b: np.ndarray,
+        x: np.ndarray,
+        scale: float | None = None,
+        scale_by_mask: bool = False,
+        timeout: float | None = None,
+        priority: int = 0,
+    ):
+        """Enqueue one whole attention layer —
+        ``spmm(edge_softmax(scale · sddmm(a, b)), x)`` — as a single
+        request; returns a Future of :class:`LayerResult`.
+
+        The layer executes as one fused pass per shard (one scheduler
+        round trip — and on the v4 cluster backend one wire round trip —
+        instead of three), bit-identical to submitting the three kernels
+        separately.  ``timeout`` / ``priority`` as for :meth:`submit_spmm`.
+        Layer requests over the same matrix, logits panels and scale
+        coalesce like SpMM requests: their ``x`` panels concatenate into
+        one engine pass.
+        """
+        inp = _as_input(matrix)
+        a = check_dense_matrix(np.asarray(a), "a", n_rows=inp.shape[0])
+        b = check_dense_matrix(np.asarray(b), "b", n_rows=inp.shape[1])
+        x = check_dense_matrix(np.asarray(x), "x", n_rows=inp.shape[1])
+        if a.shape[1] != b.shape[1]:
+            raise ValueError("a and b must share the inner dimension K")
+        # Validates the scale up front (finite, foldable) exactly as the
+        # wire program will: a bad program fails here, not in a worker.
+        program = LayerProgram.attention_layer(scale=scale, scale_by_mask=scale_by_mask)
+        scale, scale_by_mask = program.canonical()
+        token = hashlib.blake2b(digest_size=16)
+        token.update(repr((a.shape, scale, scale_by_mask)).encode())
+        token.update(np.ascontiguousarray(a).tobytes())
+        token.update(np.ascontiguousarray(b).tobytes())
+        nnz = inp.csr.nnz
+        return self._enqueue(
+            ServeRequest(
+                op="layer",
+                csr=inp.csr,
+                key=inp.csr.content_key(),
+                b=b,
+                a=a,
+                x=x,
+                scale=scale,
+                scale_by_mask=scale_by_mask,
+                group_token=token.hexdigest(),
+                priority=int(priority),
+                cost=float(
+                    sddmm_useful_flops(nnz, a.shape[1])
+                    + _edge_softmax_useful_flops(nnz)
+                    + spmm_useful_flops(nnz, x.shape[1])
+                ),
+            ),
+            timeout,
+        )
+
+    def submit_edge_softmax(
+        self,
+        matrix,
+        logits: np.ndarray,
+        timeout: float | None = None,
+        priority: int = 0,
+    ):
+        """Enqueue a per-row softmax over ``matrix``'s sparsity pattern;
+        returns a Future of :class:`EdgeSoftmaxResult`.
+
+        ``logits`` is one value per stored entry, in CSR entry order.
+        This is the middle leg of the *composed* layer pipeline — kept as
+        a first-class request so composed serving pays its real three
+        round trips and stays admission/priority-governed end to end;
+        fused :meth:`submit_layer` requests never need it.
+        """
+        inp = _as_input(matrix)
+        logits = np.ascontiguousarray(np.asarray(logits, dtype=np.float32))
+        if logits.shape != (inp.csr.nnz,):
+            raise ValueError(
+                f"logits must have shape ({inp.csr.nnz},), got {logits.shape}"
+            )
+        return self._enqueue(
+            ServeRequest(
+                op="edge_softmax",
+                csr=inp.csr,
+                key=inp.csr.content_key(),
+                b=logits,
+                priority=int(priority),
+                cost=float(_edge_softmax_useful_flops(inp.csr.nnz)),
+            ),
+            timeout,
+        )
+
+    def submit_segment_matmul(
+        self,
+        data: np.ndarray,
+        offsets,
+        weights,
+        timeout: float | None = None,
+        priority: int = 0,
+    ):
+        """Enqueue an RGCN-style typed linear
+        (:func:`repro.ops.segment_matmul`); returns a Future of
+        :class:`SegmentMatmulResult`.
+
+        ``weights`` must be uniform-width — one ``(segments, K, N)`` stack
+        is the wire format (the v4 ``segmm_task`` frame).
+        """
+        data = np.ascontiguousarray(np.asarray(data, dtype=np.float32))
+        if data.ndim != 2:
+            raise ValueError(f"data must be a 2-D array, got ndim={data.ndim}")
+        offsets = np.ascontiguousarray(np.asarray(offsets, dtype=np.int64))
+        if offsets.ndim != 1 or offsets.size < 2:
+            raise ValueError("offsets must be a 1-D array of segment boundaries")
+        if offsets[0] != 0 or offsets[-1] != data.shape[0]:
+            raise ValueError("offsets must start at 0 and end at len(data)")
+        if np.any(np.diff(offsets) < 0):
+            raise ValueError("offsets must be non-decreasing")
+        stack = np.ascontiguousarray(
+            np.stack([np.asarray(w, dtype=np.float32) for w in weights])
+        )
+        if stack.ndim != 3 or stack.shape[0] != offsets.size - 1:
+            raise ValueError(
+                "weights must stack to (segments, K, N) with one matrix per segment"
+            )
+        if stack.shape[1] != data.shape[1]:
+            raise ValueError("weights K must match data's inner dimension")
+        return self._enqueue(
+            ServeRequest(
+                op="segmm",
+                csr=None,
+                key="",
+                b=data,
+                offsets=offsets,
+                weights=stack,
+                priority=int(priority),
+                cost=float(2 * data.shape[0] * stack.shape[1] * stack.shape[2]),
             ),
             timeout,
         )
@@ -548,8 +738,20 @@ class Server:
                     self._shed_over_watermark(now)
                     if not self._pending:
                         continue
-                    # Dispatch order: priority class, then EDF, then arrival.
-                    self._pending.sort(key=ServeRequest.dispatch_order)
+                    # Dispatch order: priority class, then EDF, then arrival
+                    # — with aging, the class is the waited-boosted one.
+                    halflife = self.aging_halflife_s
+                    if halflife is not None:
+                        for req in self._pending:
+                            if (
+                                not req.aged_accounted
+                                and now - req.submitted_at >= halflife
+                            ):
+                                req.aged_accounted = True
+                                self.metrics.record_aged()
+                    self._pending.sort(
+                        key=lambda req: req.dispatch_order(now, halflife)
+                    )
                     group = self._group(self._pending)[0]
                     chosen = {id(req) for req in group}
                     with self._dispatch_lock:
@@ -780,10 +982,15 @@ class Server:
         groups: dict[tuple, list[ServeRequest]] = {}
         ordered: list[list[ServeRequest]] = []
         for req in requests:
-            # SDDMM requests share a translation but not an engine pass, so
-            # their group key is unique per request.
+            # SDDMM / edge-softmax / segmm requests share a translation but
+            # not an engine pass, so their group key is unique per request.
             if req.op == "spmm":
                 key = (req.op, req.key, req.b.shape[0])
+            elif req.op == "layer":
+                # Layers coalesce when everything but the ``x`` panel
+                # matches (same matrix, logits panels, scale): the panels
+                # concatenate into one fused pass, exactly like SpMM.
+                key = (req.op, req.key, req.group_token, req.x.shape[0])
             else:
                 key = (req.op, req.key, id(req))
             bucket = groups.get(key)
@@ -839,8 +1046,15 @@ class Server:
         if not group:
             return
         try:
-            if group[0].op == "spmm":
+            op = group[0].op
+            if op == "spmm":
                 self._execute_spmm_group(group)
+            elif op == "layer":
+                self._execute_layer_group(group)
+            elif op == "edge_softmax":
+                self._execute_edge_softmax(group[0])
+            elif op == "segmm":
+                self._execute_segmm(group[0])
             else:
                 self._execute_sddmm(group[0])
         except Exception as exc:
@@ -958,6 +1172,129 @@ class Server:
         try:
             req.future.set_result(result)
         except InvalidStateError:  # cancelled between the check and here
+            self._record_cancelled(req)
+            return
+        self._record_done(req, time.perf_counter())
+
+    def _execute_layer_group(self, group: list[ServeRequest]) -> None:
+        """One fused pass for a batch of same-(matrix, logits, scale)
+        layers: their ``x`` panels concatenate column-wise (numerically
+        invisible, exactly as for SpMM batching) and the whole
+        SDDMM → scale → softmax → SpMM pipeline runs once per shard."""
+        lead = group[0]
+        fmt = cached_mebcrs(lead.csr, self.precision, by_content=True)
+        widths = [req.x.shape[1] for req in group]
+        n_total = sum(widths)
+        self.metrics.record_batch(len(group))
+        a_q = quantize(lead.a, self.precision).astype(np.float32)
+        b_q = quantize(lead.b, self.precision).astype(np.float32)
+        x_cat = (
+            np.concatenate([req.x for req in group], axis=1)
+            if len(group) > 1
+            else lead.x
+        )
+        x_q = quantize(x_cat, self.precision).astype(np.float32)
+        plan = self._plan_for(fmt, "spmm", n_total)
+        out, stage_seconds = self.scheduler.run_layer(
+            fmt,
+            lead.csr.indptr,
+            a_q,
+            b_q,
+            x_q,
+            self.precision,
+            VECTORS_PER_OUTPUT_BLOCK,
+            scale=lead.scale,
+            scale_by_mask=lead.scale_by_mask,
+            target_blocks=plan.block_chunk,
+            **self._routing_kwargs(lead),
+        )
+        # What the composed path would have moved between server and
+        # scheduler per layer (SDDMM intermediate out, attention matrix
+        # back in) and the fused pass did not.
+        n_vec = int(fmt.vector_values.shape[0])
+        intermediate_bytes = (
+            n_vec * fmt.vector_size * 4
+            + n_vec * 8
+            + int(lead.csr.indptr.nbytes)
+            + int(lead.csr.indices.nbytes)
+            + int(lead.csr.nnz) * 4
+        )
+        self.metrics.record_layer(
+            stage_seconds,
+            round_trips_saved=2,
+            operand_bytes_saved=intermediate_bytes,
+        )
+        k_dense = lead.a.shape[1]
+        offset = 0
+        now = time.perf_counter()
+        for req, width in zip(group, widths):
+            values = np.ascontiguousarray(out[:, offset : offset + width])
+            offset += width
+            if req.future.done():
+                self._record_cancelled(req)
+                continue
+            result = LayerResult(
+                values=values,
+                useful_flops=(
+                    sddmm_useful_flops(fmt.nnz, k_dense)
+                    + _edge_softmax_useful_flops(fmt.nnz)
+                    + spmm_useful_flops(fmt.nnz, width)
+                ),
+                meta={
+                    "engine": "serve",
+                    "backend": self.backend,
+                    "workers": self.scheduler.workers,
+                    "batched_with": len(group) - 1,
+                    "plan": plan,
+                    "stages": dict(stage_seconds),
+                    "scale": lead.scale,
+                    "scale_by_mask": lead.scale_by_mask,
+                },
+            )
+            try:
+                req.future.set_result(result)
+            except InvalidStateError:  # cancelled between the check and here
+                self._record_cancelled(req)
+                continue
+            self._record_done(req, now)
+
+    def _execute_edge_softmax(self, req: ServeRequest) -> None:
+        if req.future.done():  # client-cancelled while queued: see SpMM path
+            self._record_cancelled(req)
+            return
+        self.metrics.record_batch(1)
+        values = segment_softmax(req.b, req.csr.indptr)
+        result = EdgeSoftmaxResult(
+            values=values,
+            useful_flops=_edge_softmax_useful_flops(req.csr.nnz),
+            meta={"engine": "serve", "backend": self.backend},
+        )
+        try:
+            req.future.set_result(result)
+        except InvalidStateError:
+            self._record_cancelled(req)
+            return
+        self._record_done(req, time.perf_counter())
+
+    def _execute_segmm(self, req: ServeRequest) -> None:
+        if req.future.done():  # client-cancelled while queued: see SpMM path
+            self._record_cancelled(req)
+            return
+        self.metrics.record_batch(1)
+        values = self.scheduler.run_segment_matmul(req.b, req.offsets, req.weights)
+        result = SegmentMatmulResult(
+            values=np.ascontiguousarray(values),
+            useful_flops=int(req.cost),
+            meta={
+                "engine": "serve",
+                "backend": self.backend,
+                "workers": self.scheduler.workers,
+                "segments": int(req.offsets.size - 1),
+            },
+        )
+        try:
+            req.future.set_result(result)
+        except InvalidStateError:
             self._record_cancelled(req)
             return
         self._record_done(req, time.perf_counter())

@@ -1,0 +1,245 @@
+"""Protocol v4 fused layer serving across the cluster.
+
+The multi-host contract extends the fused-layer one: a v4 ``layer_task``
+runs the whole SDDMM → scale → softmax → SpMM pipeline inside the worker
+host and is **bit-identical** to the three-call composition — across
+formats, shard sizes, host counts, under fault-injected failover, and when
+the peer only speaks protocol v3, in which case the head transparently
+falls back to the per-kernel composed pipeline (two cluster requests)
+with, again, bit-identical output.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from helpers import random_csr
+
+from repro.cluster import ClusterScheduler, RetryPolicy
+from repro.cluster.head import spawn_local_host
+from repro.formats.mebcrs import MEBCRSMatrix
+from repro.formats.sgt16 import SGT16Matrix
+from repro.kernels.sddmm_flash import VECTORS_PER_OUTPUT_BLOCK as FLASH_GROUP
+from repro.kernels.sddmm_tcu16 import VECTORS_PER_OUTPUT_BLOCK as TCU16_GROUP
+from repro.ops import segment_matmul, segment_softmax
+from repro.precision.types import Precision, quantize
+from repro.serve.program import attention_csr, gather_edge_values
+from repro.serve.scheduler import ShardScheduler
+from repro.testing import FaultPlan
+
+TIMEOUT = 120
+
+_FORMATS = {
+    "mebcrs": (MEBCRSMatrix, FLASH_GROUP),
+    "sgt16": (SGT16Matrix, TCU16_GROUP),
+}
+
+
+def _layer_workload(fmt_name="mebcrs", seed=4, rows=220, cols=200, k=20, n=12):
+    cls, group = _FORMATS[fmt_name]
+    csr = random_csr(rows, cols, 0.05, seed=seed)
+    fmt = cls.from_csr(csr, precision="fp16")
+    rng = np.random.default_rng(seed)
+    a_q = quantize(rng.standard_normal((rows, k)), Precision.FP16).astype(np.float32)
+    b_q = quantize(rng.standard_normal((cols, k)), Precision.FP16).astype(np.float32)
+    x_q = quantize(rng.standard_normal((cols, n)), Precision.FP16).astype(np.float32)
+    base = _composed_reference(csr, fmt, group, a_q, b_q, x_q, 0.8, False)
+    return csr, fmt, group, a_q, b_q, x_q, base
+
+
+def _composed_reference(csr, fmt, group, a_q, b_q, x_q, scale, scale_by_mask):
+    """The three-call composition every fused executor must match exactly."""
+    ref = ShardScheduler(workers=1)
+    vals = ref.run_sddmm(
+        fmt, a_q, b_q, Precision.FP16, group, scale_by_mask=scale_by_mask
+    )
+    logits = gather_edge_values(fmt.partition, csr.indptr, vals)
+    if scale is not None:
+        logits = (logits * np.float32(scale)).astype(np.float32)
+    attention = segment_softmax(logits, csr.indptr)
+    acsr = attention_csr(csr, attention)
+    afmt = type(fmt).from_csr(acsr, precision="fp16")
+    return ref.run_spmm(afmt, x_q, Precision.FP16)
+
+
+def _run_layer(sched, csr, fmt, group, a_q, b_q, x_q, target=7, scale=0.8):
+    out, stages = sched.run_layer(
+        fmt,
+        csr.indptr,
+        a_q,
+        b_q,
+        x_q,
+        Precision.FP16,
+        group,
+        scale=scale,
+        target_blocks=target,
+        csr=csr,
+        content_key=csr.content_key(),
+    )
+    return out, stages
+
+
+# One two-host cluster per module: host spawn is the slow part.
+@pytest.fixture(scope="module")
+def cluster():
+    with ClusterScheduler(hosts=2) as scheduler:
+        yield scheduler
+
+
+# ------------------------------------------------------------- parity grid
+@pytest.mark.parametrize("fmt_name", ["mebcrs", "sgt16"])
+@pytest.mark.parametrize("target", (1, 7, 10_000))
+def test_fused_layer_cluster_parity_grid(cluster, fmt_name, target):
+    csr, fmt, group, a_q, b_q, x_q, base = _layer_workload(fmt_name)
+    out, stages = _run_layer(cluster, csr, fmt, group, a_q, b_q, x_q, target=target)
+    np.testing.assert_array_equal(out, base)
+    assert set(stages) == {"sddmm_s", "edge_softmax_s", "spmm_s"}
+
+
+def test_fused_layer_metrics_count_saved_round_trips_and_bytes(cluster):
+    csr, fmt, group, a_q, b_q, x_q, base = _layer_workload(seed=8)
+    before = cluster.metrics.snapshot()
+    out, _ = _run_layer(cluster, csr, fmt, group, a_q, b_q, x_q)
+    np.testing.assert_array_equal(out, base)
+    after = cluster.metrics.snapshot()
+    assert after["layer_requests"] == before["layer_requests"] + 1
+    # One cluster request instead of composition's two dispatches plus a
+    # local softmax leg: two round trips banked per fused layer.
+    assert after["round_trips_saved"] == before["round_trips_saved"] + 2
+    saved = after["operand_bytes_saved"] - before["operand_bytes_saved"]
+    # At least the SDDMM intermediate out + the attention CSR bundle back.
+    v = fmt.partition.vector_size
+    n_vec = fmt.vector_values.shape[0]
+    assert saved >= n_vec * v * 4 + csr.nnz * 4
+    assert after["requests"] == before["requests"] + 1
+
+
+def test_fused_layer_single_and_zero_host_parity():
+    csr, fmt, group, a_q, b_q, x_q, base = _layer_workload(seed=9)
+    with ClusterScheduler(hosts=1) as one:
+        out, _ = _run_layer(one, csr, fmt, group, a_q, b_q, x_q)
+        np.testing.assert_array_equal(out, base)
+        assert one.stats_snapshot()["inline_fallbacks"] == 0
+    with ClusterScheduler(hosts=0) as none:
+        out, _ = _run_layer(none, csr, fmt, group, a_q, b_q, x_q)
+        np.testing.assert_array_equal(out, base)
+        snap = none.stats_snapshot()
+        assert snap["inline_fallbacks"] > 0
+        assert snap["tasks_sent"] == 0
+
+
+# ------------------------------------------------------------- fault tolerance
+def test_fused_layer_survives_dropped_connection_bit_identically():
+    """Seeded FaultPlan failover: the connection drops at the first
+    ``layer_task`` frame — the host re-dials, the shard resends, and the
+    fused result is still exact."""
+    csr, fmt, group, a_q, b_q, x_q, base = _layer_workload(seed=10)
+    plan = FaultPlan(seed=1)
+    with ClusterScheduler(
+        hosts=2,
+        fault_plan=plan,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay_s=0.02, seed=1),
+    ) as sched:
+        victim = sched.affinity_host(csr.content_key())
+        plan.drop_connection(nth=1, type="layer_task", scope=victim.host_id)
+        out, _ = _run_layer(sched, csr, fmt, group, a_q, b_q, x_q)
+        np.testing.assert_array_equal(out, base)
+        assert plan.fired_kinds() == ["drop_connection"]
+        snap = sched.stats_snapshot()
+        assert snap["reconnects"] >= 1
+        assert snap["host_deaths"] == 0
+
+
+def test_fused_layer_fails_over_when_retries_exhaust():
+    """The victim's retries run dry mid-layer: the shards fail over to the
+    survivor (still protocol v4) and the output stays bit-identical."""
+    csr, fmt, group, a_q, b_q, x_q, base = _layer_workload(seed=11)
+    plan = FaultPlan(seed=2)
+    with ClusterScheduler(
+        hosts=2,
+        fault_plan=plan,
+        retry_policy=RetryPolicy(max_attempts=2, base_delay_s=0.02, seed=2),
+        auto_readmit=False,
+    ) as sched:
+        victim = sched.affinity_host(csr.content_key())
+        plan.drop_connection(nth=1, type="layer_task", scope=victim.host_id)
+        plan.refuse_connect(2, scope=victim.host_id)
+        out, _ = _run_layer(sched, csr, fmt, group, a_q, b_q, x_q)
+        np.testing.assert_array_equal(out, base)
+        snap = sched.stats_snapshot()
+        assert snap["host_deaths"] == 1
+        assert snap["failovers"] >= 1 and snap["shards_failed_over"] >= 1
+
+
+# --------------------------------------------------------- version negotiation
+def test_v3_only_cluster_falls_back_to_composed_bit_identically():
+    """``worker_protocol_version=3`` pins every worker below the
+    ``layer_task`` frame: the head must run the composed per-kernel
+    pipeline over the v3 wire — and match the fused output exactly."""
+    csr, fmt, group, a_q, b_q, x_q, base = _layer_workload(seed=12)
+    with ClusterScheduler(hosts=2, worker_protocol_version=3) as sched:
+        out, stages = _run_layer(sched, csr, fmt, group, a_q, b_q, x_q)
+        np.testing.assert_array_equal(out, base)
+        assert set(stages) == {"sddmm_s", "edge_softmax_s", "spmm_s"}
+        snap = sched.metrics.snapshot()
+        assert snap["layer_requests_composed"] == 1
+        assert snap["layer_requests"] == 0
+        # Composed over the cluster = two dispatched requests (SDDMM, SpMM).
+        assert snap["requests"] == 2
+        assert snap["tasks_sent"] >= 2
+
+
+def test_mixed_v3_v4_cluster_routes_per_host_and_stays_bit_identical():
+    """One v4 host + one externally spawned v3 host in the same cluster:
+    layers whose affinity lands on the v4 host run fused, the v3 host's
+    run composed — every one of them bit-identical to the reference."""
+    ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else None)
+    process, address = spawn_local_host(ctx, "legacy-v3", protocol_version=3)
+    try:
+        with ClusterScheduler(hosts=1) as sched:
+            sched.add_host(address, host_id="legacy-v3")
+            for seed in range(40, 48):
+                csr, fmt, group, a_q, b_q, x_q, base = _layer_workload(
+                    seed=seed, rows=90, cols=80
+                )
+                out, _ = _run_layer(sched, csr, fmt, group, a_q, b_q, x_q)
+                np.testing.assert_array_equal(out, base)
+            snap = sched.metrics.snapshot()
+            # Rendezvous spread the eight keys over both hosts: both the
+            # fused and the composed path ran, and nothing was dropped.
+            assert snap["layer_requests"] >= 1
+            assert snap["layer_requests_composed"] >= 1
+            assert snap["layer_requests"] + snap["layer_requests_composed"] == 8
+    finally:
+        if process.is_alive():
+            process.terminate()
+        process.join(10)
+
+
+# ------------------------------------------------------------ segment matmul
+def test_cluster_segment_matmul_parity(cluster):
+    rng = np.random.default_rng(31)
+    data = rng.standard_normal((48, 9)).astype(np.float32)
+    offsets = np.array([0, 10, 10, 30, 48], dtype=np.int64)
+    weights = [rng.standard_normal((9, 6)).astype(np.float32) for _ in range(4)]
+    ref = np.asarray(segment_matmul(data, offsets, weights), dtype=np.float32)
+    before = cluster.metrics.snapshot()["segmm_requests"]
+    out = cluster.run_segment_matmul(data, offsets, weights)
+    np.testing.assert_array_equal(out, ref)
+    assert cluster.metrics.snapshot()["segmm_requests"] == before + 1
+
+
+def test_segment_matmul_falls_back_inline_on_v3_peers():
+    rng = np.random.default_rng(33)
+    data = rng.standard_normal((24, 5)).astype(np.float32)
+    offsets = np.array([0, 9, 24], dtype=np.int64)
+    weights = [rng.standard_normal((5, 4)).astype(np.float32) for _ in range(2)]
+    ref = np.asarray(segment_matmul(data, offsets, weights), dtype=np.float32)
+    with ClusterScheduler(hosts=1, worker_protocol_version=3) as sched:
+        out = sched.run_segment_matmul(data, offsets, weights)
+        np.testing.assert_array_equal(out, ref)
+        # The v3 host never saw a segmm frame; the op ran in-parent.
+        assert sched.stats_snapshot()["inline_fallbacks"] > 0

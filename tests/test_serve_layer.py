@@ -1,0 +1,370 @@
+"""Fused layer serving: parity, coalescing, aging, segment-matmul requests.
+
+The contract of ``Server.submit_layer``: one request runs the whole
+SDDMM → scale → edge-softmax → SpMM pipeline **bit-identically** to the
+three-request composition (``submit_sddmm`` → client-side gather + scale →
+``submit_edge_softmax`` → ``submit_spmm`` over the attention matrix), with
+the same coalescing / priority / deadline semantics as the per-kernel
+submissions.  The parity grid below runs the fused shard scheduler across
+formats, shard sizes and worker counts against the composed reference, and
+the server-level tests cover both execution modes through
+:class:`repro.gnn.backends.ServedBackend`, whose OpStats must count
+identically either way.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from helpers import random_csr
+
+from repro.formats.mebcrs import MEBCRSMatrix
+from repro.formats.sgt16 import SGT16Matrix
+from repro.gnn import SERVED_MODES, ServedBackend
+from repro.kernels.sddmm_flash import VECTORS_PER_OUTPUT_BLOCK as FLASH_GROUP
+from repro.kernels.sddmm_tcu16 import VECTORS_PER_OUTPUT_BLOCK as TCU16_GROUP
+from repro.ops import segment_matmul, segment_softmax
+from repro.precision.types import Precision, quantize
+from repro.serve import LatencyStats, ProgramError, Server, ShardScheduler
+from repro.serve.program import attention_csr, gather_edge_values
+
+TIMEOUT = 120
+
+_FORMATS = {
+    "mebcrs": (MEBCRSMatrix, FLASH_GROUP),
+    "sgt16": (SGT16Matrix, TCU16_GROUP),
+}
+
+
+def _layer_workload(fmt_name="mebcrs", seed=4, rows=160, cols=150, k=24, n=16):
+    cls, group = _FORMATS[fmt_name]
+    csr = random_csr(rows, cols, 0.05, seed=seed)
+    fmt = cls.from_csr(csr, precision="fp16")
+    rng = np.random.default_rng(seed)
+    a_q = quantize(rng.standard_normal((rows, k)), Precision.FP16).astype(np.float32)
+    b_q = quantize(rng.standard_normal((cols, k)), Precision.FP16).astype(np.float32)
+    x_q = quantize(rng.standard_normal((cols, n)), Precision.FP16).astype(np.float32)
+    return csr, fmt, group, a_q, b_q, x_q
+
+
+def composed_layer_reference(csr, fmt, group, a_q, b_q, x_q, scale, scale_by_mask):
+    """The three-call composition every fused executor must match bit-for-bit."""
+    ref = ShardScheduler(workers=1)
+    vals = ref.run_sddmm(fmt, a_q, b_q, Precision.FP16, group, scale_by_mask=scale_by_mask)
+    logits = gather_edge_values(fmt.partition, csr.indptr, vals)
+    if scale is not None:
+        logits = (logits * np.float32(scale)).astype(np.float32)
+    attention = segment_softmax(logits, csr.indptr)
+    acsr = attention_csr(csr, attention)
+    afmt = type(fmt).from_csr(acsr, precision="fp16")
+    return ref.run_spmm(afmt, x_q, Precision.FP16)
+
+
+# ------------------------------------------------------ scheduler parity grid
+@pytest.mark.parametrize("fmt_name", ["mebcrs", "sgt16"])
+@pytest.mark.parametrize("target", (1, 7, 10_000))
+@pytest.mark.parametrize("workers", (1, 3))
+def test_fused_layer_scheduler_parity_grid(fmt_name, target, workers):
+    csr, fmt, group, a_q, b_q, x_q = _layer_workload(fmt_name)
+    base = composed_layer_reference(csr, fmt, group, a_q, b_q, x_q, 0.8, False)
+    sched = ShardScheduler(workers=workers)
+    out, stages = sched.run_layer(
+        fmt,
+        csr.indptr,
+        a_q,
+        b_q,
+        x_q,
+        Precision.FP16,
+        group,
+        scale=0.8,
+        target_blocks=target,
+    )
+    np.testing.assert_array_equal(out, base)
+    assert set(stages) == {"sddmm_s", "edge_softmax_s", "spmm_s"}
+    assert all(seconds >= 0.0 for seconds in stages.values())
+
+
+@pytest.mark.parametrize("scale, by_mask", [(None, False), (0.5, True)])
+def test_fused_layer_scale_variants(scale, by_mask):
+    csr, fmt, group, a_q, b_q, x_q = _layer_workload(seed=9)
+    base = composed_layer_reference(csr, fmt, group, a_q, b_q, x_q, scale, by_mask)
+    out, _ = ShardScheduler(workers=2).run_layer(
+        fmt,
+        csr.indptr,
+        a_q,
+        b_q,
+        x_q,
+        Precision.FP16,
+        group,
+        scale=scale,
+        scale_by_mask=by_mask,
+        target_blocks=5,
+    )
+    np.testing.assert_array_equal(out, base)
+
+
+def test_fused_layer_empty_matrix_yields_zeros():
+    empty = random_csr(24, 20, 0.0, ensure_nonempty=False, seed=1)
+    fmt = MEBCRSMatrix.from_csr(empty, precision="fp16")
+    out, stages = ShardScheduler(workers=1).run_layer(
+        fmt,
+        empty.indptr,
+        np.zeros((24, 4), np.float32),
+        np.zeros((20, 4), np.float32),
+        np.zeros((20, 3), np.float32),
+        Precision.FP16,
+        FLASH_GROUP,
+    )
+    assert out.shape == (24, 3) and not out.any()
+    assert all(seconds == 0.0 for seconds in stages.values())
+
+
+# --------------------------------------------------------- served layer modes
+def test_served_fused_and_composed_are_bit_identical_with_equal_opstats():
+    csr = random_csr(130, 130, 0.05, seed=11)  # square: AGNN's self-attention
+    rng = np.random.default_rng(11)
+    h = rng.standard_normal((csr.shape[0], 20)).astype(np.float32)
+    with Server(workers=2) as srv:
+        backends = {
+            mode: ServedBackend(server=srv, adjacency=csr, mode=mode)
+            for mode in SERVED_MODES
+        }
+        outs = {m: be.agnn_forward(h, beta=1.3) for m, be in backends.items()}
+        np.testing.assert_array_equal(outs["fused"], outs["composed"])
+        # The logical operator accounting is transport-independent.
+        assert backends["fused"].stats == backends["composed"].stats
+        assert backends["fused"].stats.sddmm_calls == 1
+        assert backends["fused"].stats.edge_softmax_calls == 1
+        assert backends["fused"].stats.spmm_calls == 1
+        snap = srv.snapshot()
+        # Fused: 1 request; composed: 3. The fused one banked 2 round trips.
+        assert snap.layer_requests == 1
+        assert snap.round_trips_saved == 2
+        assert snap.operand_bytes_saved > 0
+        assert snap.requests_completed == 4
+
+
+def test_layer_priority_and_deadline_semantics_match_kernel_requests():
+    """A queued layer request sheds on deadline exactly like an SpMM."""
+    from repro.serve import ServeTimeoutError
+
+    csr = random_csr(120, 120, 0.05, seed=13)
+    rng = np.random.default_rng(13)
+    a = rng.standard_normal((120, 8)).astype(np.float32)
+    x = rng.standard_normal((120, 8)).astype(np.float32)
+    with Server(workers=1) as srv:
+        gate = _Gate(srv)
+        blocker_csr = random_csr(50, 40, 0.1, seed=99)
+        blocker = srv.submit_spmm(
+            blocker_csr, rng.standard_normal((40, 4)).astype(np.float32)
+        )
+        gate.entered.wait(TIMEOUT)
+        doomed = srv.submit_layer(csr, a, a, x, timeout=0.01)
+        time.sleep(0.05)  # let the deadline lapse while parked
+        gate.release.set()
+        blocker.result(TIMEOUT)
+        with pytest.raises(ServeTimeoutError):
+            doomed.result(TIMEOUT)
+        assert srv.snapshot().requests_timed_out == 1
+
+
+class _Gate:
+    """Deterministic dispatcher block (see ``test_serve_overload``)."""
+
+    def __init__(self, server: Server):
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self._original = server._execute_group
+        server._execute_group = self
+
+    def __call__(self, group):
+        self.entered.set()
+        assert self.release.wait(TIMEOUT), "gate never released"
+        self._original(group)
+
+
+def test_same_layer_requests_coalesce_into_one_fused_pass():
+    csr = random_csr(120, 120, 0.05, seed=15)
+    rng = np.random.default_rng(15)
+    a = rng.standard_normal((120, 12)).astype(np.float32)
+    x1 = rng.standard_normal((120, 6)).astype(np.float32)
+    x2 = rng.standard_normal((120, 9)).astype(np.float32)
+    with Server(workers=1) as srv:
+        # Solo runs for the reference outputs.
+        solo1 = srv.submit_layer(csr, a, a, x1, scale=0.9).result(TIMEOUT)
+        solo2 = srv.submit_layer(csr, a, a, x2, scale=0.9).result(TIMEOUT)
+        gate = _Gate(srv)
+        blocker_csr = random_csr(50, 40, 0.1, seed=98)
+        blocker = srv.submit_spmm(
+            blocker_csr, rng.standard_normal((40, 4)).astype(np.float32)
+        )
+        gate.entered.wait(TIMEOUT)
+        before = srv.snapshot().batches_dispatched
+        f1 = srv.submit_layer(csr, a, a, x1, scale=0.9)
+        f2 = srv.submit_layer(csr, a, a, x2, scale=0.9)
+        gate.release.set()
+        blocker.result(TIMEOUT)
+        r1, r2 = f1.result(TIMEOUT), f2.result(TIMEOUT)
+        np.testing.assert_array_equal(r1.values, solo1.values)
+        np.testing.assert_array_equal(r2.values, solo2.values)
+        snap = srv.snapshot()
+        # The pair shared one engine pass (their x panels concatenated).
+        assert snap.batches_dispatched == before + 2  # blocker + fused pair
+        assert snap.requests_coalesced >= 2
+        assert r1.meta["batched_with"] == 1
+        assert r2.meta["batched_with"] == 1
+
+
+def test_different_scale_layers_do_not_coalesce():
+    csr = random_csr(120, 120, 0.05, seed=16)
+    rng = np.random.default_rng(16)
+    a = rng.standard_normal((120, 8)).astype(np.float32)
+    x = rng.standard_normal((120, 5)).astype(np.float32)
+    with Server(workers=1) as srv:
+        gate = _Gate(srv)
+        blocker_csr = random_csr(50, 40, 0.1, seed=97)
+        blocker = srv.submit_spmm(
+            blocker_csr, rng.standard_normal((40, 4)).astype(np.float32)
+        )
+        gate.entered.wait(TIMEOUT)
+        f1 = srv.submit_layer(csr, a, a, x, scale=0.5)
+        f2 = srv.submit_layer(csr, a, a, x, scale=2.0)
+        gate.release.set()
+        blocker.result(TIMEOUT)
+        r1, r2 = f1.result(TIMEOUT), f2.result(TIMEOUT)
+        assert r1.meta["batched_with"] == 0
+        assert r2.meta["batched_with"] == 0
+        assert not np.array_equal(r1.values, r2.values)
+
+
+def test_submit_layer_validates_shapes_and_program():
+    csr, *_ = _layer_workload(seed=17)
+    rows, cols = csr.shape
+    good_a = np.ones((rows, 6), np.float32)
+    good_b = np.ones((cols, 6), np.float32)
+    good_x = np.ones((cols, 4), np.float32)
+    with Server(workers=1) as srv:
+        with pytest.raises(ValueError):
+            srv.submit_layer(csr, np.ones((rows + 1, 6)), good_b, good_x)
+        with pytest.raises(ValueError):
+            srv.submit_layer(csr, good_a, np.ones((cols, 7)), good_x)
+        with pytest.raises(ValueError):
+            srv.submit_layer(csr, good_a, good_b, np.ones((cols + 2, 4)))
+        with pytest.raises(ProgramError):
+            srv.submit_layer(csr, good_a, good_b, good_x, scale=float("nan"))
+
+
+def test_snapshot_exposes_per_stage_latency_split():
+    csr = random_csr(120, 120, 0.05, seed=19)
+    rng = np.random.default_rng(19)
+    a = rng.standard_normal((120, 8)).astype(np.float32)
+    x = rng.standard_normal((120, 4)).astype(np.float32)
+    with Server(workers=1) as srv:
+        for _ in range(3):
+            srv.submit_layer(csr, a, a, x).result(TIMEOUT)
+        snap = srv.snapshot()
+    assert set(snap.stage_latency) == {"sddmm", "edge_softmax", "spmm"}
+    for stage, stats in snap.stage_latency.items():
+        assert isinstance(stats, LatencyStats)  # the existing snapshot shape
+        assert stats.count == 3
+        assert stats.mean_s >= 0.0
+        assert stats.p99_s >= stats.p50_s >= 0.0
+
+
+# ------------------------------------------------------------ edge softmax op
+def test_served_edge_softmax_matches_segment_softmax():
+    csr, *_ = _layer_workload(seed=21)
+    logits = np.random.default_rng(21).standard_normal(csr.nnz).astype(np.float32)
+    with Server(workers=1) as srv:
+        res = srv.submit_edge_softmax(csr, logits).result(TIMEOUT)
+        with pytest.raises(ValueError):
+            srv.submit_edge_softmax(csr, logits[:-1])
+    np.testing.assert_array_equal(res.values, segment_softmax(logits, csr.indptr))
+    assert res.useful_flops == 5 * csr.nnz
+
+
+# ----------------------------------------------------------- segment matmul
+def test_served_segment_matmul_matches_direct_op():
+    rng = np.random.default_rng(23)
+    data = rng.standard_normal((40, 10)).astype(np.float32)
+    offsets = np.array([0, 12, 12, 25, 40], dtype=np.int64)
+    weights = [rng.standard_normal((10, 7)).astype(np.float32) for _ in range(4)]
+    ref = segment_matmul(data, offsets, weights)
+    with Server(workers=1) as srv:
+        res = srv.submit_segment_matmul(data, offsets, weights).result(TIMEOUT)
+    np.testing.assert_array_equal(res.values, np.asarray(ref, dtype=np.float32))
+    assert res.useful_flops == 2 * 40 * 10 * 7
+
+
+def test_submit_segment_matmul_validates_inputs():
+    rng = np.random.default_rng(25)
+    data = rng.standard_normal((20, 6)).astype(np.float32)
+    offsets = np.array([0, 8, 20], dtype=np.int64)
+    weights = [rng.standard_normal((6, 5)).astype(np.float32) for _ in range(2)]
+    with Server(workers=1) as srv:
+        with pytest.raises(ValueError):  # offsets must start at 0
+            srv.submit_segment_matmul(data, np.array([1, 8, 20]), weights)
+        with pytest.raises(ValueError):  # offsets must end at len(data)
+            srv.submit_segment_matmul(data, np.array([0, 8, 19]), weights)
+        with pytest.raises(ValueError):  # non-decreasing
+            srv.submit_segment_matmul(data, np.array([0, 12, 8, 20]), weights)
+        with pytest.raises(ValueError):  # one weight per segment
+            srv.submit_segment_matmul(data, offsets, weights[:1])
+        with pytest.raises(ValueError):  # uniform K
+            srv.submit_segment_matmul(
+                data, offsets, [weights[0], rng.standard_normal((7, 5))]
+            )
+
+
+# ------------------------------------------------------------- priority aging
+def test_aging_promotes_a_starved_low_priority_request():
+    """With ``aging_halflife_s`` set, a low-priority request that waited a
+    few halflives outranks fresh high-priority traffic; without it, the
+    high-priority flood always wins."""
+    work = [
+        (random_csr(60, 50, 0.08, seed=200 + i),
+         np.random.default_rng(i).standard_normal((50, 4)).astype(np.float32))
+        for i in range(3)
+    ]
+    (m0, b0), (m1, b1), (m2, b2) = work
+
+    def run(halflife):
+        order = []
+        lock = threading.Lock()
+        with Server(workers=1, aging_halflife_s=halflife) as srv:
+            gate = _Gate(srv)
+            blocker = srv.submit_spmm(m0, b0)
+            gate.entered.wait(TIMEOUT)
+            old_low = srv.submit_spmm(m1, b1, priority=0)
+            time.sleep(0.4)  # many halflives: +priority ≫ the flood's 9
+            fresh_high = srv.submit_spmm(m2, b2, priority=9)
+            for label, fut in (("low", old_low), ("high", fresh_high)):
+                def record(f, label=label):
+                    with lock:
+                        order.append(label)
+                fut.add_done_callback(record)
+            gate.release.set()
+            blocker.result(TIMEOUT)
+            old_low.result(TIMEOUT)
+            fresh_high.result(TIMEOUT)
+            aged = srv.snapshot().requests_aged
+        return order, aged
+
+    order, aged = run(halflife=0.02)
+    assert order == ["low", "high"]
+    assert aged >= 1
+
+    order, aged = run(halflife=None)
+    assert order == ["high", "low"]
+    assert aged == 0
+
+
+def test_aging_halflife_validation():
+    with pytest.raises(ValueError):
+        Server(workers=1, aging_halflife_s=0.0)
+    with pytest.raises(ValueError):
+        Server(workers=1, aging_halflife_s=-1.0)
